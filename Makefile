@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+report:
+	python -c "from repro.eval.report import write_report; print(write_report('benchmarks/artifacts'))"
+
+examples:
+	python examples/quickstart.py --scale 0.1
+	python examples/model_comparison.py --scale 0.1
+	python examples/wastewater_chokes.py --scale 0.1
+	python examples/risk_map_export.py --scale 0.1
+	python examples/inspection_planning.py --scale 0.15
+	python examples/survival_exploration.py --scale 0.1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The expensive Table 18.3 comparison (all models × all regions × repeats)
+runs once per session and feeds the Table 18.3/18.4 and Figure 18.7/18.8
+benchmarks. Knobs:
+
+* ``REPRO_SCALE`` — dataset scale (default 0.25 of the paper's counts);
+* ``REPRO_BENCH_REPEATS`` — seed-repeats for the paired t-tests (default 3).
+
+Artifacts (rendered tables, SVG risk maps) are written to
+``benchmarks/artifacts/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiment import run_comparison
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def comparison():
+    """The full model comparison over regions A/B/C with seed repeats."""
+    return run_comparison(
+        regions=("A", "B", "C"),
+        n_repeats=bench_repeats(),
+        fast=True,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

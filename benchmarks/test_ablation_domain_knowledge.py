@@ -1,0 +1,57 @@
+"""Ablation A2 — the value of domain knowledge (§18.4.2's claim).
+
+Three feature regimes, same model (the Weibull NHPP — the GLM covariate
+path makes it the cleanest probe of pure feature value):
+
+* **basic** — asset-register attributes only (no soil, no traffic): what a
+  modeller gets without domain experts pointing at environmental factors;
+* **naive** — everything *plus* false-correlated decoy features, kept by a
+  data-driven pipeline with no expert screening;
+* **expert** — the Table 18.2 feature set after expert screening.
+
+Asserted shape: expert features beat the basic set (the experts' suggested
+environmental factors carry signal) and are at least as good as the
+decoy-contaminated naive set.
+"""
+
+import numpy as np
+
+from repro.core.survival_models import WeibullModel
+from repro.data.datasets import load_region
+from repro.eval.metrics import empirical_auc
+from repro.eval.reporting import format_table
+from repro.features.builder import build_model_data
+from repro.features.domain import basic_config, expert_screen, naive_config
+from repro.network.pipe import PipeClass
+
+from .conftest import run_once
+
+SEEDS = (None, 4001, 4002, 4003, 4004, 4005)
+
+
+def run_ablation():
+    out: dict[str, list[float]] = {"basic": [], "naive+decoys": [], "expert": []}
+    for seed in SEEDS:
+        ds = load_region("A", seed=seed).subset(PipeClass.CWM)
+        basic = build_model_data(ds, basic_config())
+        naive = build_model_data(ds, naive_config(n_decoys=10))
+        expert = expert_screen(naive)
+        labels = expert.pipe_fail_test
+        for name, md in (("basic", basic), ("naive+decoys", naive), ("expert", expert)):
+            scores = WeibullModel().fit_predict(md)
+            out[name].append(empirical_auc(scores, labels))
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+def test_ablation_domain_knowledge(benchmark, artifact_dir):
+    means = run_once(benchmark, run_ablation)
+    table = format_table(
+        ["Feature regime", "mean AUC"], [[k, f"{v:.3f}"] for k, v in means.items()]
+    )
+    print("\n" + table)
+    (artifact_dir / "ablation_domain_knowledge.txt").write_text(table + "\n")
+
+    # Expert-identified environmental factors add real signal.
+    assert means["expert"] > means["basic"], means
+    # Expert screening never loses to the decoy-contaminated pipeline.
+    assert means["expert"] >= means["naive+decoys"] - 0.01, means

@@ -1,0 +1,56 @@
+"""Ablation A3 — segment-level vs pipe-level modelling (§18.3.3's argument).
+
+The chapter argues the HBP model "ignores the impact of the length
+attribute" by modelling whole pipes, while DPMHBP models segments "whose
+lengths are relatively constant with a very small variance" and composes
+pipe risk over the series system. This benchmark fits the *same* DPMHBP
+machinery at both levels (segments with survival composition vs whole
+pipes directly) and asserts the design choice pays.
+"""
+
+import numpy as np
+
+from repro.core.dpmhbp import DPMHBP, DPMHBPModel
+from repro.eval.experiment import prepare_region_data
+from repro.eval.metrics import empirical_auc
+from repro.eval.reporting import format_table
+from repro.ml.glm import PoissonRegression
+
+from .conftest import run_once
+
+SEEDS = (None, 5001, 5002)
+
+
+def pipe_level_scores(md, seed=0):
+    """DPMHBP machinery applied to whole pipes (no segment composition)."""
+    sampler = DPMHBP(n_sweeps=40, burn_in=15, seed=seed)
+    post = sampler.fit(md.pipe_fail_train, md.X_pipe)
+    counts = md.pipe_fail_train.sum(axis=1).astype(float)
+    exposure = np.full(md.n_pipes, float(md.pipe_fail_train.shape[1]))
+    glm = PoissonRegression(l2=1e-2).fit(md.X_pipe, counts, exposure=exposure)
+    return post.rho_mean * glm.covariate_factor(md.X_pipe)
+
+
+def run_ablation():
+    seg_aucs, pipe_aucs = [], []
+    for seed in SEEDS:
+        md = prepare_region_data("A", seed=seed)
+        labels = md.pipe_fail_test
+        seg_scores = DPMHBPModel(n_sweeps=40, burn_in=15, seed=0).fit_predict(md)
+        seg_aucs.append(empirical_auc(seg_scores, labels))
+        pipe_aucs.append(empirical_auc(pipe_level_scores(md), labels))
+    return float(np.mean(seg_aucs)), float(np.mean(pipe_aucs))
+
+
+def test_ablation_segments(benchmark, artifact_dir):
+    seg_auc, pipe_auc = run_once(benchmark, run_ablation)
+    table = format_table(
+        ["Modelling level", "mean AUC"],
+        [["segments + series composition", f"{seg_auc:.3f}"], ["whole pipes", f"{pipe_auc:.3f}"]],
+    )
+    print("\n" + table)
+    (artifact_dir / "ablation_segments.txt").write_text(table + "\n")
+
+    # Segment-level modelling with series composition should not lose to
+    # pipe-level modelling (the paper's stronger claim is that it wins).
+    assert seg_auc >= pipe_auc - 0.02, (seg_auc, pipe_auc)

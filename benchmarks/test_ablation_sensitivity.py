@@ -1,0 +1,56 @@
+"""Ablation A4 — DPMHBP hyperparameter sensitivity.
+
+Two design choices the paper leaves implicit get stress-tested here:
+
+* the CRP concentration ``α`` (how eagerly new groups form), and
+* feature-aware grouping (``feature_weight > 0``) vs grouping on failure
+  histories alone (``feature_weight = 0``).
+
+Asserted shape: performance is *stable* across reasonable ``α`` (the DP's
+selling point — no sensitive group-count knob), and feature-aware grouping
+does not lose to history-only grouping (features are what let zero-failure
+segments join informative groups).
+"""
+
+import numpy as np
+
+from repro.core.dpmhbp import DPMHBPModel
+from repro.eval.experiment import prepare_region_data
+from repro.eval.metrics import empirical_auc
+from repro.eval.reporting import format_table
+
+from .conftest import run_once
+
+SEEDS = (None, 6001)
+
+
+def run_sensitivity():
+    out: dict[str, list[float]] = {}
+    for seed in SEEDS:
+        md = prepare_region_data("A", seed=seed)
+        labels = md.pipe_fail_test
+        for alpha in (1.0, 4.0, 12.0):
+            m = DPMHBPModel(alpha=alpha, n_sweeps=40, burn_in=15, seed=0)
+            out.setdefault(f"alpha={alpha:g}", []).append(
+                empirical_auc(m.fit_predict(md), labels)
+            )
+        m = DPMHBPModel(feature_weight=0.0, n_sweeps=40, burn_in=15, seed=0)
+        out.setdefault("history-only grouping", []).append(
+            empirical_auc(m.fit_predict(md), labels)
+        )
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+def test_ablation_sensitivity(benchmark, artifact_dir):
+    means = run_once(benchmark, run_sensitivity)
+    table = format_table(
+        ["Configuration", "mean AUC"], [[k, f"{v:.3f}"] for k, v in means.items()]
+    )
+    print("\n" + table)
+    (artifact_dir / "ablation_sensitivity.txt").write_text(table + "\n")
+
+    alpha_aucs = [v for k, v in means.items() if k.startswith("alpha=")]
+    # Insensitive to the concentration: spread under 6 AUC points.
+    assert max(alpha_aucs) - min(alpha_aucs) < 0.06, means
+    # Feature-aware grouping (the default alpha=4 run) >= history-only.
+    assert means["alpha=4"] >= means["history-only grouping"] - 0.02, means

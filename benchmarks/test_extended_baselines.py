@@ -1,0 +1,57 @@
+"""Extended baseline sweep — the related-work time models join the table.
+
+The chapter's related-work section traces the field from single-covariate
+age models (time-exponential [15], time-power [12], time-linear [9]) to
+multivariate and nonparametric methods. This benchmark runs the whole
+lineage on one region so the historical progression is visible in one
+table: age-only models < multivariate models < hierarchical Bayesian
+models (on average).
+"""
+
+import numpy as np
+
+from repro.core.dpmhbp import DPMHBPModel
+from repro.core.ranking.model import SVMClassifierModel, SVMRankingModel
+from repro.core.survival_models import CoxPHModel, TimeRateModel, WeibullModel
+from repro.eval.experiment import prepare_region_data
+from repro.eval.metrics import empirical_auc
+from repro.eval.reporting import format_table
+
+from .conftest import run_once
+
+SEEDS = (None, 7001, 7002)
+
+
+def run_sweep():
+    out: dict[str, list[float]] = {}
+    for seed in SEEDS:
+        md = prepare_region_data("A", seed=seed)
+        labels = md.pipe_fail_test
+        models = [
+            TimeRateModel(kind="exponential"),
+            TimeRateModel(kind="power"),
+            TimeRateModel(kind="linear"),
+            CoxPHModel(),
+            WeibullModel(),
+            SVMRankingModel(seed=0),
+            SVMClassifierModel(seed=0),
+            DPMHBPModel(n_sweeps=40, burn_in=15, seed=0),
+        ]
+        for m in models:
+            out.setdefault(m.name, []).append(empirical_auc(m.fit_predict(md), labels))
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+def test_extended_baselines(benchmark, artifact_dir):
+    means = run_once(benchmark, run_sweep)
+    rows = [[k, f"{v:.3f}"] for k, v in sorted(means.items(), key=lambda kv: -kv[1])]
+    table = format_table(["Model", "mean AUC"], rows)
+    print("\n" + table)
+    (artifact_dir / "extended_baselines.txt").write_text(table + "\n")
+
+    age_only = np.mean([means["TimeExp"], means["TimePow"], means["TimeLin"]])
+    multivariate = np.mean([means["Cox"], means["Weibull"], means["SVM"]])
+    # The historical progression: age-only < multivariate < DPMHBP.
+    assert multivariate > age_only, means
+    assert means["DPMHBP"] > age_only, means
+    assert means["DPMHBP"] >= multivariate - 0.02, means

@@ -1,0 +1,45 @@
+"""Figure 18.5 — tree canopy coverage vs waste-water pipe failure (choke).
+
+Regenerates the binned relationship between tree canopy coverage and choke
+rate on the waste-water network. Asserted shape: a strong positive,
+essentially monotone relationship (the paper's figure shows choke counts
+rising steeply with canopy), quantified as (a) top-bin rate several times
+the bottom-bin rate and (b) a positive rank correlation across bins.
+"""
+
+import numpy as np
+
+from repro.data.wastewater import load_wastewater_region
+from repro.eval.reporting import binned_rate_table
+
+from .conftest import run_once
+
+
+def build():
+    ds = load_wastewater_region("A")
+    segments = ds.network.segments()
+    cover = ds.environment.canopy.coverage_at([s.midpoint for s in segments])
+    fails = ds.segment_failure_matrix().sum(axis=1).astype(float)
+    exposure = np.asarray([s.length for s in segments]) * len(ds.years)
+    return cover, fails, exposure
+
+
+def rank_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    rx = np.argsort(np.argsort(x)).astype(float)
+    ry = np.argsort(np.argsort(y)).astype(float)
+    return float(np.corrcoef(rx, ry)[0, 1])
+
+
+def test_fig18_5(benchmark, artifact_dir):
+    cover, fails, exposure = run_once(benchmark, build)
+    table, centres, rates = binned_rate_table(
+        cover, fails, exposure, n_bins=8, value_name="tree_canopy_cover"
+    )
+    print("\n" + table)
+    (artifact_dir / "fig18_5.txt").write_text(table + "\n")
+
+    assert len(rates) >= 5
+    # Steep positive relationship: top canopy bin >> bottom bin.
+    assert rates[-1] > 3.0 * max(rates[0], 1e-12)
+    # Near-monotone: strong rank correlation across bins.
+    assert rank_correlation(centres, rates) > 0.7

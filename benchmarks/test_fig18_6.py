@@ -1,0 +1,36 @@
+"""Figure 18.6 — soil moisture vs waste-water pipe failure (choke).
+
+Same protocol as Fig. 18.5 with the soil-moisture layer: the asserted
+shape is the paper's strong positive correlation between moisture and
+choke rate.
+"""
+
+import numpy as np
+
+from repro.data.wastewater import load_wastewater_region
+from repro.eval.reporting import binned_rate_table
+
+from .conftest import run_once
+from .test_fig18_5 import rank_correlation
+
+
+def build():
+    ds = load_wastewater_region("A")
+    segments = ds.network.segments()
+    wet = ds.environment.moisture.moisture_at([s.midpoint for s in segments])
+    fails = ds.segment_failure_matrix().sum(axis=1).astype(float)
+    exposure = np.asarray([s.length for s in segments]) * len(ds.years)
+    return wet, fails, exposure
+
+
+def test_fig18_6(benchmark, artifact_dir):
+    wet, fails, exposure = run_once(benchmark, build)
+    table, centres, rates = binned_rate_table(
+        wet, fails, exposure, n_bins=8, value_name="soil_moisture"
+    )
+    print("\n" + table)
+    (artifact_dir / "fig18_6.txt").write_text(table + "\n")
+
+    assert len(rates) >= 5
+    assert rates[-1] > 2.0 * max(rates[0], 1e-12)
+    assert rank_correlation(centres, rates) > 0.6

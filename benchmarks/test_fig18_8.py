@@ -1,0 +1,48 @@
+"""Figure 18.8 — detection with 1% of the pipe network *length* inspected.
+
+Regenerates the budget-constrained comparison: the x-axis is the fraction
+of total CWM length (not pipe count) inspected, truncated at the real
+annual inspection budget of 1%. The paper's shape: DPMHBP detects the most
+failures within the 1% budget in every region (nearly doubling the second
+best in region C); here we assert DPMHBP is at or near the top on average.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+
+from .conftest import run_once
+
+MODELS = ("DPMHBP", "HBP", "Cox", "SVM", "Weibull", "AUC-Rank")
+
+
+def test_fig18_8(benchmark, comparison, artifact_dir):
+    result = run_once(benchmark, lambda: comparison)
+
+    detected: dict[tuple[str, str], list[float]] = {}
+    for region in result.regions:
+        for run in result.runs[region]:
+            for name, ev in run.evaluations.items():
+                curve = ev.curve(run.labels, lengths=run.pipe_lengths)
+                detected.setdefault((region, name), []).append(curve.detected_at(0.01))
+
+    rows = []
+    for region in result.regions:
+        rows.append(
+            [region]
+            + [f"{100 * np.mean(detected[(region, m)]):.1f}%" for m in MODELS]
+        )
+    table = format_table(["Region"] + list(MODELS), rows)
+    print("\n" + table)
+    (artifact_dir / "fig18_8.txt").write_text(table + "\n")
+
+    # Shape assertions: DPMHBP at/near the top of the paper's five at 1% of
+    # network length, and strictly above the Cox baseline on average.
+    overall = {
+        m: float(np.mean([np.mean(detected[(r, m)]) for r in result.regions]))
+        for m in MODELS
+    }
+    paper_five = {m: v for m, v in overall.items() if m != "AUC-Rank"}
+    best = max(paper_five.values())
+    assert overall["DPMHBP"] >= 0.8 * best, overall
+    assert overall["DPMHBP"] >= overall["Cox"], overall

@@ -1,0 +1,84 @@
+"""P1 — sampler and metric throughput (real timing benchmarks).
+
+Unlike the experiment benchmarks (run once via pedantic), these measure
+steady-state throughput of the hot paths: a DPMHBP Gibbs sweep, an HBP
+sweep, CRP partition sampling, exact-AUC evaluation, and one evolution-
+strategy generation. Useful for catching performance regressions in the
+inference core.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.crp import sample_partition
+from repro.core.dpmhbp import DPMHBP
+from repro.core.hbp import fit_hbp
+from repro.core.ranking.evolutionary import EvolutionStrategy
+from repro.core.ranking.objective import empirical_auc
+
+
+@pytest.fixture(scope="module")
+def failure_matrix():
+    rng = np.random.default_rng(0)
+    n, years = 2000, 11
+    p = rng.choice([0.001, 0.01, 0.05], size=n, p=[0.7, 0.2, 0.1])
+    return (rng.random((n, years)) < p[:, None]).astype(np.int8)
+
+
+@pytest.fixture(scope="module")
+def features(failure_matrix):
+    rng = np.random.default_rng(1)
+    return rng.standard_normal((failure_matrix.shape[0], 20))
+
+
+def test_perf_dpmhbp_sweeps(benchmark, failure_matrix, features):
+    """Five DPMHBP sweeps over 2k segments (includes CRP reseating)."""
+
+    def run():
+        return DPMHBP(n_sweeps=5, burn_in=1, seed=0).fit(failure_matrix, features)
+
+    post = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert post.rho_mean.shape == (2000,)
+
+
+def test_perf_hbp_sweeps(benchmark, failure_matrix):
+    """Fifty HBP sweeps over 2k units with 8 groups."""
+    groups = np.arange(2000) % 8
+
+    def run():
+        return fit_hbp(failure_matrix, groups, n_sweeps=50, burn_in=10, seed=0)
+
+    post = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert post.pi_mean.shape == (2000,)
+
+
+def test_perf_crp_partition(benchmark):
+    """Sequential CRP seating of 5k customers."""
+    rng = np.random.default_rng(0)
+    labels = benchmark(sample_partition, 5000, 3.0, rng)
+    assert labels.shape == (5000,)
+
+
+def test_perf_empirical_auc(benchmark):
+    """Exact AUC on 100k scores (rank-sum path)."""
+    rng = np.random.default_rng(0)
+    scores = rng.standard_normal(100_000)
+    labels = (rng.random(100_000) < 0.01).astype(float)
+    labels[0] = 1.0
+    auc = benchmark(empirical_auc, scores, labels)
+    assert 0.4 < auc < 0.6
+
+
+def test_perf_es_generation(benchmark):
+    """One ES generation (40 evaluations) on a 30-dim AUC-like objective."""
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((2000, 30))
+    y = (rng.random(2000) < 0.05).astype(float)
+    y[0] = 1.0
+
+    def run():
+        es = EvolutionStrategy(generations=1, population=40, seed=0)
+        return es.maximise(lambda w: empirical_auc(X @ w, y), dim=30)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.0 <= res.best_value <= 1.0

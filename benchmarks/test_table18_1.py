@@ -1,0 +1,44 @@
+"""Table 18.1 — pipe network and failure data summary per region.
+
+Regenerates the paper's data-collection table from the synthetic regions
+and checks the calibration: pipe counts are exact by construction, failure
+counts land within sampling noise of the (scaled) paper targets, and the
+laid-year ranges and CWM shares match.
+"""
+
+import numpy as np
+
+from repro.data.datasets import load_region
+from repro.data.regions import default_scale, get_region
+from repro.eval.reporting import table_18_1
+from repro.network.pipe import PipeClass
+
+from .conftest import run_once
+
+
+def build_all_regions():
+    return [load_region(name) for name in ("A", "B", "C")]
+
+
+def test_table18_1(benchmark, artifact_dir):
+    datasets = run_once(benchmark, build_all_regions)
+    table = table_18_1(datasets)
+    print("\n" + table)
+    (artifact_dir / "table18_1.txt").write_text(table + "\n")
+
+    for ds in datasets:
+        spec = get_region(ds.spec.name.split("-")[0], scale=default_scale())
+        # Pipe counts exact.
+        assert ds.network.n_pipes == spec.n_pipes
+        assert len(ds.network.pipes(PipeClass.CWM)) == spec.n_cwm
+        # Failure totals within 5 sigma of the calibrated target.
+        for target, actual in (
+            (spec.target_failures_all, len(ds.failures)),
+            (spec.target_failures_cwm, ds.n_failures(PipeClass.CWM)),
+        ):
+            assert abs(actual - target) < 5 * np.sqrt(target) + 5
+        # Laid eras inside the paper's ranges.
+        lo, hi = ds.network.laid_year_range()
+        assert lo >= spec.laid_year_lo and hi <= spec.laid_year_hi
+        # Observation period 1998-2009.
+        assert ds.years == tuple(range(1998, 2010))

@@ -1,0 +1,101 @@
+"""One-command miniature of the full reproduction.
+
+Runs the entire paper pipeline at a small scale: data generation with
+Table 18.1 calibration, the model comparison protocol (Table 18.3's AUC
+pair), a paired t-test (Table 18.4), the waste-water relationships
+(Figs 18.5/18.6), detection curves (Figs 18.7/18.8), and a risk map
+(Fig. 18.9) — printing each artefact as it goes. The real benchmark suite
+(`pytest benchmarks/ --benchmark-only`) does the same with assertions and
+more repeats; this script is the five-minute tour.
+
+Run:
+    python examples/full_reproduction.py [--scale 0.12] [--repeats 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.data import load_region, load_wastewater_region
+from repro.eval import run_comparison
+from repro.eval.reporting import (
+    binned_rate_table,
+    detection_readout,
+    table_18_1,
+    table_18_3,
+    table_18_4,
+)
+from repro.eval.riskmap import RiskMap
+from repro.features import build_model_data
+from repro.network import PipeClass
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args()
+
+    print("=" * 70)
+    print("Table 18.1 — generated network & failure data")
+    print("=" * 70)
+    datasets = [load_region(r, scale=args.scale) for r in ("A", "B", "C")]
+    print(table_18_1(datasets))
+
+    print()
+    print("=" * 70)
+    print(f"Tables 18.3 / 18.4 — model comparison ({args.repeats} repeats)")
+    print("=" * 70)
+    result = run_comparison(
+        regions=("A", "B", "C"), n_repeats=args.repeats, scale=args.scale, fast=True
+    )
+    print(table_18_3(result))
+    print()
+    if args.repeats >= 2:
+        print(table_18_4(result, reference="DPMHBP", models=("HBP", "Cox", "SVM", "Weibull")))
+    else:
+        print("(Table 18.4 needs --repeats >= 2 for paired t-tests)")
+
+    print()
+    print("=" * 70)
+    print("Figures 18.7 / 18.8 — detection readout")
+    print("=" * 70)
+    print(detection_readout(result, budgets=(0.01, 0.05, 0.10, 0.20)))
+
+    print()
+    print("=" * 70)
+    print("Figures 18.5 / 18.6 — waste-water choke relationships")
+    print("=" * 70)
+    ww = load_wastewater_region("A", scale=args.scale)
+    segments = ww.network.segments()
+    mids = [s.midpoint for s in segments]
+    fails = ww.segment_failure_matrix().sum(axis=1).astype(float)
+    exposure = np.asarray([s.length for s in segments]) * len(ww.years)
+    for name, values in (
+        ("tree_canopy_cover", ww.environment.canopy.coverage_at(mids)),
+        ("soil_moisture", ww.environment.moisture.moisture_at(mids)),
+    ):
+        table, _, rates = binned_rate_table(values, fails, exposure, n_bins=5, value_name=name)
+        print(table)
+        print(f"  -> top bin {rates[-1] / max(rates[0], 1e-12):.1f}x the bottom bin\n")
+
+    print("=" * 70)
+    print("Figure 18.9 — risk map")
+    print("=" * 70)
+    cwm = datasets[0].subset(PipeClass.CWM)
+    scores = result.runs["A"][0].evaluations["DPMHBP"].scores
+    md = build_model_data(cwm)
+    assert len(scores) == md.n_pipes
+    rm = RiskMap(dataset=cwm, scores=scores)
+    path = rm.save_svg("riskmap_full_repro.svg")
+    print(f"wrote {path}")
+    try:
+        print(f"top-10% band captures {100 * rm.top_band_hit_rate():.0f}% of test failures")
+    except ValueError:
+        print("(no test-year CWM failures at this scale)")
+
+
+if __name__ == "__main__":
+    main()

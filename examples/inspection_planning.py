@@ -1,0 +1,94 @@
+"""Budget-constrained inspection planning: the 1%-of-network-length rule.
+
+Water utilities physically inspect only ~1% of critical mains a year. This
+example turns model scores into an inspection plan: pipes are added in
+descending risk order until the length budget is exhausted, and the plan
+is evaluated against what actually failed in the test year. Compares the
+plans produced by DPMHBP and the Cox baseline, and writes the DPMHBP plan
+as CSV.
+
+Run:
+    python examples/inspection_planning.py [--budget 0.01] [--out plan.csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro import DPMHBPModel, prepare_region_data
+from repro.core.survival_models import CoxPHModel
+from repro.features.builder import ModelData
+
+
+def build_plan(data: ModelData, scores: np.ndarray, budget_fraction: float) -> list[int]:
+    """Pipe rows selected greedily by score under a length budget."""
+    budget = budget_fraction * data.pipe_lengths.sum()
+    plan: list[int] = []
+    used = 0.0
+    for i in np.argsort(-scores):
+        if used + data.pipe_lengths[i] > budget and plan:
+            continue  # skip pipes that overflow; keep filling with shorter ones
+        plan.append(int(i))
+        used += data.pipe_lengths[i]
+        if used >= budget:
+            break
+    return plan
+
+
+def describe(name: str, data: ModelData, plan: list[int]) -> None:
+    length = data.pipe_lengths[plan].sum()
+    caught = int(data.pipe_fail_test[plan].sum())
+    total = int(data.pipe_fail_test.sum())
+    print(
+        f"{name:<8} plan: {len(plan)} pipes, {length / 1000:.1f} km "
+        f"({100 * length / data.pipe_lengths.sum():.2f}% of network) -> "
+        f"catches {caught}/{total} test-year failures"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--budget", type=float, default=0.01, help="fraction of network length")
+    parser.add_argument("--out", type=Path, default=Path("inspection_plan.csv"))
+    args = parser.parse_args()
+
+    data = prepare_region_data(args.region, scale=args.scale)
+    print(
+        f"Region {args.region}: {data.n_pipes} CWMs, "
+        f"{data.pipe_lengths.sum() / 1000:.0f} km of mains, "
+        f"budget = {100 * args.budget:g}% of length\n"
+    )
+
+    dpm_scores = DPMHBPModel(n_sweeps=40, burn_in=15, seed=0).fit_predict(data)
+    cox_scores = CoxPHModel().fit_predict(data)
+
+    dpm_plan = build_plan(data, dpm_scores, args.budget)
+    cox_plan = build_plan(data, cox_scores, args.budget)
+    describe("DPMHBP", data, dpm_plan)
+    describe("Cox", data, cox_plan)
+
+    with args.out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["rank", "pipe_id", "risk_score", "material", "laid_year", "length_m"])
+        for rank, i in enumerate(dpm_plan, 1):
+            writer.writerow(
+                [
+                    rank,
+                    data.pipe_ids[i],
+                    f"{dpm_scores[i]:.5f}",
+                    data.pipe_material[i],
+                    int(data.pipe_laid_year[i]),
+                    f"{data.pipe_lengths[i]:.0f}",
+                ]
+            )
+    print(f"\nWrote the DPMHBP inspection plan to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

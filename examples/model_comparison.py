@@ -1,0 +1,60 @@
+"""Model comparison: the paper's Table 18.3 protocol on one region.
+
+Fits every compared method — DPMHBP, HBP (best fixed grouping), Cox
+proportional hazards, SVM ranking, Weibull NHPP, and the AUC-optimised
+ranker — on one region's critical water mains and prints the AUC table
+plus a detection-curve readout.
+
+Run:
+    python examples/model_comparison.py [--region B] [--scale 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import default_models, evaluate_models, prepare_region_data
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+
+    data = prepare_region_data(args.region, scale=args.scale)
+    print(
+        f"Region {args.region}: {data.n_pipes} CWMs, "
+        f"{int(data.pipe_fail_train.sum())} training failure-years, "
+        f"{int(data.pipe_fail_test.sum())} test-year failures"
+    )
+
+    t0 = time.time()
+    run = evaluate_models(data, default_models(seed=0, fast=True), region=args.region)
+    print(f"Fitted all {len(run.evaluations)} models in {time.time() - t0:.1f}s\n")
+
+    rows = []
+    for name, ev in sorted(run.evaluations.items(), key=lambda kv: -kv[1].auc):
+        curve = ev.curve(run.labels)
+        rows.append(
+            [
+                name,
+                f"{100 * ev.auc:.2f}%",
+                f"{ev.auc_budget_permyriad:.2f}",
+                f"{100 * curve.detected_at(0.10):.0f}%",
+                f"{100 * curve.detected_at(0.20):.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["Model", "AUC(100%)", "AUC(1%) [per-10k]", "detect@10%", "detect@20%"],
+            rows,
+        )
+    )
+    print("\n(best viewed against the paper's Table 18.3 — the *ordering* is the result)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: rank a region's critical water mains by failure risk.
+
+Generates the synthetic replica of region A, fits the DPMHBP model on the
+1998-2008 failure records, scores every critical water main for 2009, and
+prints the ten highest-risk pipes alongside the evaluation metrics.
+
+Run:
+    python examples/quickstart.py [--scale 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import DPMHBPModel, empirical_auc, prepare_region_data
+from repro.eval.metrics import auc_at_budget, detection_curve, permyriad
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.15, help="fraction of paper-scale data")
+    args = parser.parse_args()
+
+    print(f"Generating region {args.region} at scale {args.scale} ...")
+    data = prepare_region_data(args.region, scale=args.scale)
+    print(f"  {data.n_pipes} critical water mains, {data.n_segments} segments")
+    print(f"  training years {data.train_years[0]}-{data.train_years[-1]}, test year {data.test_year}")
+
+    print("Fitting DPMHBP (Metropolis-within-Gibbs) ...")
+    model = DPMHBPModel(n_sweeps=40, burn_in=15, seed=0)
+    scores = model.fit_predict(data)
+    trace = model.posterior_.n_clusters_trace
+    print(f"  adaptive grouping settled on ~{trace[-1]} segment groups")
+
+    print("\nTop 10 highest-risk pipes for the test year:")
+    order = np.argsort(-scores)[:10]
+    header = f"{'pipe':<12} {'risk':>8} {'material':<8} {'laid':>5} {'len(m)':>7} {'failed?':>7}"
+    print(header)
+    print("-" * len(header))
+    for i in order:
+        failed = "YES" if data.pipe_fail_test[i] else ""
+        print(
+            f"{data.pipe_ids[i]:<12} {scores[i]:>8.4f} {data.pipe_material[i]:<8} "
+            f"{int(data.pipe_laid_year[i]):>5} {data.pipe_lengths[i]:>7.0f} {failed:>7}"
+        )
+
+    labels = data.pipe_fail_test
+    if labels.sum() > 0:
+        curve = detection_curve(scores, labels)
+        print(f"\nAUC (100% budget): {100 * empirical_auc(scores, labels):.2f}%")
+        print(f"AUC (1% budget):   {permyriad(auc_at_budget(scores, labels)):.2f} per-10k")
+        print(f"Inspecting the top 10% of pipes catches {100 * curve.detected_at(0.10):.0f}% of failures")
+    else:
+        print("\n(no test-year failures at this tiny scale — rerun with a larger --scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Risk maps (Fig. 18.9): colour-banded network drawings as SVG.
+
+Fits DPMHBP on a region's critical water mains, bands pipes by predicted
+risk percentile (red = top 10%), overlays the test-year failures as stars,
+and writes a standalone SVG you can open in any browser.
+
+Run:
+    python examples/risk_map_export.py [--region C] [--out riskmap.svg]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import DPMHBPModel, build_model_data, load_region
+from repro.eval.riskmap import RiskMap
+from repro.network.pipe import PipeClass
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+    out = args.out or Path(f"riskmap_region_{args.region}.svg")
+
+    dataset = load_region(args.region, scale=args.scale).subset(PipeClass.CWM)
+    data = build_model_data(dataset)
+    print(f"Scoring {data.n_pipes} critical water mains in region {args.region} ...")
+    scores = DPMHBPModel(n_sweeps=40, burn_in=15, seed=0).fit_predict(data)
+
+    risk_map = RiskMap(dataset=dataset, scores=scores)
+    path = risk_map.save_svg(out, width=900)
+    print(f"Wrote {path} ({path.stat().st_size / 1024:.0f} KiB)")
+
+    n_failures = len(risk_map.test_failure_points())
+    if n_failures:
+        rate = risk_map.top_band_hit_rate()
+        print(
+            f"{n_failures} failures occurred in {dataset.test_year}; "
+            f"{100 * rate:.0f}% of the failing pipes sit in the red top-10% band"
+        )
+        print("(random prioritisation would put ~10% there)")
+    else:
+        print("No test-year failures at this scale; the map still shows the banding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Waste-water blockages: the domain-knowledge features at work.
+
+Regenerates the chapter's Figs 18.5/18.6 relationships — choke rate vs
+tree canopy coverage and vs soil moisture — on the synthetic sewer
+network, then shows what those expert-suggested features buy a predictive
+model: the same Weibull NHPP fitted with and without the vegetation
+features.
+
+Run:
+    python examples/wastewater_chokes.py [--scale 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import empirical_auc
+from repro.core.survival_models import WeibullModel
+from repro.data.wastewater import load_wastewater_region
+from repro.eval.reporting import binned_rate_table
+from repro.features.builder import FeatureConfig, build_model_data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.15)
+    args = parser.parse_args()
+
+    ds = load_wastewater_region(args.region, scale=args.scale)
+    print(
+        f"Sewer network {ds.spec.name}: {ds.network.n_pipes} pipes, "
+        f"{len(ds.failures)} chokes over {len(ds.years)} years"
+    )
+
+    segments = ds.network.segments()
+    midpoints = [s.midpoint for s in segments]
+    fails = ds.segment_failure_matrix().sum(axis=1).astype(float)
+    exposure = np.asarray([s.length for s in segments]) * len(ds.years)
+
+    print("\n-- Fig 18.5: choke rate vs tree canopy coverage --")
+    cover = ds.environment.canopy.coverage_at(midpoints)
+    table, _, rates_c = binned_rate_table(cover, fails, exposure, n_bins=6, value_name="canopy")
+    print(table)
+    print(f"top-bin rate is {rates_c[-1] / max(rates_c[0], 1e-12):.1f}x the bottom bin")
+
+    print("\n-- Fig 18.6: choke rate vs soil moisture --")
+    wet = ds.environment.moisture.moisture_at(midpoints)
+    table, _, rates_m = binned_rate_table(wet, fails, exposure, n_bins=6, value_name="moisture")
+    print(table)
+    print(f"top-bin rate is {rates_m[-1] / max(rates_m[0], 1e-12):.1f}x the bottom bin")
+
+    print("\n-- What the expert features buy a model --")
+    with_veg = build_model_data(ds, FeatureConfig(include_vegetation=True))
+    without = build_model_data(ds, FeatureConfig(include_vegetation=False))
+    labels = with_veg.pipe_fail_test
+    if labels.sum() == 0:
+        print("(no test-year chokes at this scale — rerun with a larger --scale)")
+        return
+    auc_with = empirical_auc(WeibullModel().fit_predict(with_veg), labels)
+    auc_without = empirical_auc(WeibullModel().fit_predict(without), labels)
+    print(f"Weibull NHPP without canopy/moisture: AUC = {100 * auc_without:.1f}%")
+    print(f"Weibull NHPP with    canopy/moisture: AUC = {100 * auc_with:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

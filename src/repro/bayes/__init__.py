@@ -1,0 +1,46 @@
+"""Bayesian nonparametric primitives: beta process, Bernoulli process, CRP."""
+
+from .bernoulli_process import loglik, sample_draws, success_counts
+from .beta_process import DiscreteBetaProcess, sample_levy_atoms
+from .crp import (
+    alpha_for_expected_tables,
+    expected_tables,
+    gibbs_weights,
+    log_eppf,
+    relabel,
+    sample_partition,
+    table_counts,
+)
+from .distributions import (
+    bernoulli_loglik,
+    beta_binomial_logmarginal,
+    beta_logpdf,
+    beta_mean_concentration,
+    clip_unit,
+    gaussian_logpdf,
+    gaussian_marginal_logpdf_sum,
+    log_factorial,
+)
+
+__all__ = [
+    "loglik",
+    "sample_draws",
+    "success_counts",
+    "DiscreteBetaProcess",
+    "sample_levy_atoms",
+    "alpha_for_expected_tables",
+    "expected_tables",
+    "gibbs_weights",
+    "log_eppf",
+    "relabel",
+    "sample_partition",
+    "table_counts",
+    "bernoulli_loglik",
+    "beta_binomial_logmarginal",
+    "beta_logpdf",
+    "beta_mean_concentration",
+    "clip_unit",
+    "gaussian_logpdf",
+    "gaussian_marginal_logpdf_sum",
+    "log_factorial",
+]

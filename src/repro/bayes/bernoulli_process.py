@@ -1,0 +1,62 @@
+"""Bernoulli process draws and binary failure matrices.
+
+A draw ``X_j ~ BeP(H)`` from a Bernoulli process with a discrete beta
+process ``H = Σ_i π_i δ_{ω_i}`` is a binary measure with
+``x_{i,j} ~ Bernoulli(π_i)`` per atom. Stacking ``m`` draws column-wise
+yields the paper's binary failure matrix (Fig. 18.3): rows are pipes (or
+pipe segments), columns are observation years, ``x_{i,j} = 1`` iff asset
+``i`` failed in year ``j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .beta_process import DiscreteBetaProcess
+from .distributions import bernoulli_loglik
+
+
+def sample_draws(
+    process: DiscreteBetaProcess | np.ndarray, n_draws: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n_atoms, n_draws)`` binary matrix of Bernoulli-process draws.
+
+    ``process`` may be a :class:`DiscreteBetaProcess` (its atom weights are
+    sampled once, then shared by all draws — the exchangeable setting the
+    conjugacy result assumes) or a fixed weight vector.
+    """
+    if n_draws < 0:
+        raise ValueError("n_draws must be non-negative")
+    if isinstance(process, DiscreteBetaProcess):
+        weights = process.sample(rng)
+    else:
+        weights = np.asarray(process, dtype=float)
+        if np.any(weights < 0) or np.any(weights > 1):
+            raise ValueError("Bernoulli weights must lie in [0, 1]")
+    return (rng.random((weights.size, n_draws)) < weights[:, None]).astype(np.int8)
+
+
+def success_counts(matrix: np.ndarray) -> np.ndarray:
+    """Per-atom success counts ``s_i = Σ_j x_{i,j}`` of a binary matrix."""
+    matrix = _validate_binary(matrix)
+    return matrix.sum(axis=1).astype(float)
+
+
+def loglik(matrix: np.ndarray, weights: np.ndarray) -> float:
+    """Log likelihood of a binary matrix under fixed atom weights."""
+    matrix = _validate_binary(matrix)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (matrix.shape[0],):
+        raise ValueError("need one weight per matrix row")
+    s = matrix.sum(axis=1)
+    n = matrix.shape[1]
+    return float(np.sum(bernoulli_loglik(s, n, weights)))
+
+
+def _validate_binary(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("failure matrix must be 2-D (atoms x draws)")
+    if matrix.size and not np.isin(matrix, (0, 1)).all():
+        raise ValueError("failure matrix must be binary")
+    return matrix

@@ -1,0 +1,119 @@
+"""Beta process over a discrete base measure, with its conjugate posterior.
+
+The beta process ``H ~ BP(c, H0)`` (Hjort 1990; Thibaux & Jordan 2007) is a
+positive Lévy process parameterised by a concentration ``c`` and a base
+measure ``H0``. When ``H0`` is discrete with atoms ``{(ω_i, q_i)}``, a draw
+``H`` has atoms at the same locations with independent weights
+
+    π_i ~ Beta(c·q_i, c·(1 − q_i)),
+
+which is the representation the pipe-failure models use: each atom is a
+(unique) pipe or segment and ``π_i`` its per-year failure probability.
+The Bernoulli process is conjugate: observing ``m`` draws ``X_j ~ BeP(H)``
+with per-atom success counts ``s_i`` updates the process to
+
+    H | X ~ BP(c + m,  c/(c+m)·H0 + 1/(c+m)·Σ_j X_j)      (paper Eq. 18.4)
+
+so the posterior atom weights are ``Beta(c·q_i + s_i, c·(1−q_i) + m − s_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distributions import clip_unit
+
+
+@dataclass(frozen=True)
+class DiscreteBetaProcess:
+    """``BP(c, H0)`` with discrete ``H0 = Σ_i q_i δ_{ω_i}``.
+
+    Attributes
+    ----------
+    concentration:
+        ``c > 0``; larger values concentrate draws around the base weights.
+    base_weights:
+        ``q_i ∈ (0, 1)``, one per atom.
+    """
+
+    concentration: float
+    base_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.concentration <= 0:
+            raise ValueError(f"concentration must be positive, got {self.concentration}")
+        weights = np.asarray(self.base_weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("base_weights must be a non-empty 1-D array")
+        if np.any(weights <= 0.0) or np.any(weights >= 1.0):
+            raise ValueError("base weights must lie strictly inside (0, 1)")
+        object.__setattr__(self, "base_weights", weights)
+
+    @property
+    def n_atoms(self) -> int:
+        return self.base_weights.size
+
+    def shape_parameters(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom Beta shapes ``(c·q_i, c·(1−q_i))``."""
+        c = self.concentration
+        q = self.base_weights
+        return c * q, c * (1.0 - q)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """One draw of the atom weights ``π_i``."""
+        a, b = self.shape_parameters()
+        return rng.beta(a, b)
+
+    def mean(self) -> np.ndarray:
+        """Expected atom weights (equal to the base weights)."""
+        return self.base_weights.copy()
+
+    def variance(self) -> np.ndarray:
+        """Per-atom variance ``q(1−q)/(c+1)`` — shrinks as ``c`` grows."""
+        q = self.base_weights
+        return q * (1.0 - q) / (self.concentration + 1.0)
+
+    def posterior(self, successes: np.ndarray, n_draws: int) -> "DiscreteBetaProcess":
+        """Conjugate update after ``n_draws`` Bernoulli-process observations.
+
+        ``successes[i]`` is the number of the ``n_draws`` binary draws in
+        which atom ``i`` fired (``Σ_j x_{i,j}``). Implements paper Eq. 18.4.
+        """
+        s = np.asarray(successes, dtype=float)
+        if s.shape != self.base_weights.shape:
+            raise ValueError("successes must have one entry per atom")
+        if np.any(s < 0) or np.any(s > n_draws):
+            raise ValueError("success counts must lie in [0, n_draws]")
+        c, m = self.concentration, float(n_draws)
+        new_base = clip_unit((c * self.base_weights + s) / (c + m))
+        return DiscreteBetaProcess(concentration=c + m, base_weights=np.asarray(new_base))
+
+    def posterior_mean(self, successes: np.ndarray, n_draws: int) -> np.ndarray:
+        """Posterior expected atom weights, ``(c·q_i + s_i) / (c + m)``."""
+        return self.posterior(successes, n_draws).mean()
+
+
+def sample_levy_atoms(
+    mass: float, concentration: float, rng: np.random.Generator, truncation: int = 1000
+) -> np.ndarray:
+    """Approximate draw of a beta process with *continuous* base measure.
+
+    Uses the stick-breaking-like construction of Teh, Görür & Ghahramani:
+    rounds ``r = 1, 2, ...`` contribute ``Poisson(γ)`` atoms with weights
+    given by products of Beta(c, 1) sticks (``γ`` = total mass of ``H0``).
+    Only used for simulation/testing; the pipe models always work with the
+    discrete representation above.
+    """
+    if mass <= 0 or concentration <= 0:
+        raise ValueError("mass and concentration must be positive")
+    weights: list[float] = []
+    stick = 1.0
+    for _ in range(truncation):
+        n_round = int(rng.poisson(mass))
+        stick *= float(rng.beta(concentration, 1.0))
+        weights.extend(stick * rng.beta(concentration, 1.0, size=n_round))
+        if stick < 1e-10:
+            break
+    return np.asarray(weights, dtype=float)

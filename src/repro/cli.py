@@ -1,0 +1,125 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+``summary``    regenerate the Table 18.1 data summary for the synthetic regions
+``compare``    fit the full model line-up on one region and print the AUC table
+``riskmap``    fit DPMHBP and write a Fig. 18.9-style SVG risk map
+``plan``       produce a budget-constrained inspection plan with economics
+
+All commands accept ``--scale`` (fraction of paper-scale data, default
+from ``REPRO_SCALE``/0.25) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from .data.datasets import load_region
+    from .eval.reporting import table_18_1
+
+    datasets = [load_region(r, scale=args.scale, seed=args.seed) for r in args.regions]
+    print(table_18_1(datasets))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .eval.experiment import default_models, evaluate_models, prepare_region_data
+    from .eval.reporting import format_table
+
+    data = prepare_region_data(args.region, scale=args.scale, seed=args.seed)
+    run = evaluate_models(
+        data, default_models(seed=0, fast=not args.full), region=args.region
+    )
+    rows = [
+        [name, f"{100 * ev.auc:.2f}%", f"{ev.auc_budget_permyriad:.2f}"]
+        for name, ev in sorted(run.evaluations.items(), key=lambda kv: -kv[1].auc)
+    ]
+    print(format_table(["Model", "AUC(100%)", "AUC(1%) [per-10k]"], rows))
+    return 0
+
+
+def _cmd_riskmap(args: argparse.Namespace) -> int:
+    from .core.dpmhbp import DPMHBPModel
+    from .data.datasets import load_region
+    from .eval.riskmap import RiskMap
+    from .features.builder import build_model_data
+    from .network.pipe import PipeClass
+
+    dataset = load_region(args.region, scale=args.scale, seed=args.seed).subset(PipeClass.CWM)
+    data = build_model_data(dataset)
+    scores = DPMHBPModel(n_sweeps=args.sweeps, burn_in=args.sweeps // 3, seed=0).fit_predict(data)
+    out = args.out or Path(f"riskmap_{args.region}.svg")
+    RiskMap(dataset=dataset, scores=scores).save_svg(out)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core.dpmhbp import DPMHBPModel
+    from .eval.economics import plan_economics
+    from .eval.experiment import prepare_region_data
+
+    data = prepare_region_data(args.region, scale=args.scale, seed=args.seed)
+    scores = DPMHBPModel(n_sweeps=args.sweeps, burn_in=args.sweeps // 3, seed=0).fit_predict(data)
+    econ = plan_economics(data, scores, args.budget)
+    print(f"inspect {econ.n_inspected} pipes ({econ.inspected_km:.1f} km)")
+    print(f"inspection cost : {econ.inspection_cost:,.0f}")
+    print(f"failures caught : {econ.failures_caught} (missed {econ.failures_missed})")
+    print(f"averted cost    : {econ.averted_cost:,.0f}")
+    print(f"net savings     : {econ.net_savings:,.0f}")
+    # Also emit the ranked plan rows for downstream scheduling.
+    order = np.argsort(-scores)[: econ.n_inspected]
+    for rank, i in enumerate(order, 1):
+        print(f"{rank:4d}  {data.pipe_ids[i]:<14} score={scores[i]:.5f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, region: bool = True) -> None:
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--seed", type=int, default=None)
+        if region:
+            p.add_argument("--region", default="A", choices=["A", "B", "C"])
+
+    p = sub.add_parser("summary", help="Table 18.1 data summary")
+    common(p, region=False)
+    p.add_argument("--regions", nargs="+", default=["A", "B", "C"])
+    p.set_defaults(func=_cmd_summary)
+
+    p = sub.add_parser("compare", help="model comparison on one region")
+    common(p)
+    p.add_argument("--full", action="store_true", help="full-length MCMC runs")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("riskmap", help="write an SVG risk map")
+    common(p)
+    p.add_argument("--out", type=Path, default=None)
+    p.add_argument("--sweeps", type=int, default=40)
+    p.set_defaults(func=_cmd_riskmap)
+
+    p = sub.add_parser("plan", help="budget-constrained inspection plan")
+    common(p)
+    p.add_argument("--budget", type=float, default=0.01)
+    p.add_argument("--sweeps", type=int, default=40)
+    p.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

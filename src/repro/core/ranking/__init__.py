@@ -1,0 +1,20 @@
+"""Ranking core: AUC objective, evolutionary optimisers, RankSVM, models."""
+
+from .evolutionary import DifferentialEvolution, EvolutionStrategy, OptimisationResult
+from .model import AUCRankingModel, SVMClassifierModel, SVMRankingModel, build_snapshots
+from .objective import empirical_auc, sigmoid_auc, top_fraction_hit_rate
+from .ranksvm import RankSVM
+
+__all__ = [
+    "DifferentialEvolution",
+    "EvolutionStrategy",
+    "OptimisationResult",
+    "AUCRankingModel",
+    "SVMClassifierModel",
+    "SVMRankingModel",
+    "build_snapshots",
+    "empirical_auc",
+    "sigmoid_auc",
+    "top_fraction_hit_rate",
+    "RankSVM",
+]

@@ -1,0 +1,158 @@
+"""Region specifications calibrated to the paper's Table 18.1.
+
+Three local-government areas of an international metropolis (~5M people):
+
+=======  ==========  =======  ========  ==========  =====  ==========  =========
+Region   Population  Density  # Pipes   # Failures  # CWM  # CWM fail  Laid years
+=======  ==========  =======  ========  ==========  =====  ==========  =========
+A        210,000     629      15,189    4,093       3,793  520         1930–1997
+B        182,000     2,374    11,836    3,694       2,457  432         1888–1997
+C        205,000     300      18,001    4,421       5,041  563         1913–1997
+=======  ==========  =======  ========  ==========  =====  ==========  =========
+
+The observation period is 1998–2009 (12 years); the experiments train on
+1998–2008 and test on 2009. A ``scale`` factor shrinks every count
+proportionally so the whole benchmark suite stays laptop-sized; the
+``REPRO_SCALE`` environment variable overrides the default.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, replace
+
+OBSERVATION_YEARS: tuple[int, ...] = tuple(range(1998, 2010))
+TRAIN_YEARS: tuple[int, ...] = tuple(range(1998, 2009))
+TEST_YEAR: int = 2009
+
+#: Default generation scale when ``REPRO_SCALE`` is unset.
+DEFAULT_SCALE = 0.25
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Target statistics a synthetic region is calibrated against."""
+
+    name: str
+    population: int
+    density_per_km2: float
+    n_pipes: int
+    n_cwm: int
+    target_failures_all: int
+    target_failures_cwm: int
+    laid_year_lo: int
+    laid_year_hi: int
+    seed: int
+
+    @property
+    def area_km2(self) -> float:
+        """Region area implied by population and density."""
+        return self.population / self.density_per_km2
+
+    @property
+    def side_m(self) -> float:
+        """Side of the square modelling domain, in metres."""
+        return math.sqrt(self.area_km2) * 1000.0
+
+    @property
+    def block_size_m(self) -> float:
+        """Street-block size: denser regions have tighter street grids."""
+        return max(60.0, 6000.0 / math.sqrt(self.density_per_km2))
+
+    @property
+    def n_rwm(self) -> int:
+        return self.n_pipes - self.n_cwm
+
+    @property
+    def target_failures_rwm(self) -> int:
+        return self.target_failures_all - self.target_failures_cwm
+
+    def scaled(self, scale: float) -> "RegionSpec":
+        """Proportionally shrunk replica (counts scaled, densities kept).
+
+        The spatial domain side shrinks by ``sqrt(scale)`` implicitly via
+        the generator, preserving pipe density; failure *rates* per pipe
+        are preserved because pipe and failure counts scale together.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+
+        def s(x: int) -> int:
+            return max(1, round(x * scale))
+
+        return replace(
+            self,
+            population=s(self.population),
+            n_pipes=s(self.n_pipes),
+            n_cwm=s(self.n_cwm),
+            target_failures_all=s(self.target_failures_all),
+            target_failures_cwm=s(self.target_failures_cwm),
+        )
+
+
+REGION_A = RegionSpec(
+    name="A",
+    population=210_000,
+    density_per_km2=629.0,
+    n_pipes=15_189,
+    n_cwm=3_793,
+    target_failures_all=4_093,
+    target_failures_cwm=520,
+    laid_year_lo=1930,
+    laid_year_hi=1997,
+    seed=101,
+)
+
+REGION_B = RegionSpec(
+    name="B",
+    population=182_000,
+    density_per_km2=2_374.0,
+    n_pipes=11_836,
+    n_cwm=2_457,
+    target_failures_all=3_694,
+    target_failures_cwm=432,
+    laid_year_lo=1888,
+    laid_year_hi=1997,
+    seed=202,
+)
+
+REGION_C = RegionSpec(
+    name="C",
+    population=205_000,
+    density_per_km2=300.0,
+    n_pipes=18_001,
+    n_cwm=5_041,
+    target_failures_all=4_421,
+    target_failures_cwm=563,
+    laid_year_lo=1913,
+    laid_year_hi=1997,
+    seed=303,
+)
+
+REGIONS: dict[str, RegionSpec] = {"A": REGION_A, "B": REGION_B, "C": REGION_C}
+
+
+def default_scale() -> float:
+    """Scale factor from ``REPRO_SCALE`` (defaults to :data:`DEFAULT_SCALE`)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if not 0 < scale <= 1:
+        raise ValueError(f"REPRO_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def get_region(name: str, scale: float | None = None) -> RegionSpec:
+    """Region spec by name ("A" / "B" / "C"), scaled for experiments."""
+    key = name.upper()
+    if key not in REGIONS:
+        raise KeyError(f"unknown region {name!r}; choose from {sorted(REGIONS)}")
+    spec = REGIONS[key]
+    return spec.scaled(default_scale() if scale is None else scale)

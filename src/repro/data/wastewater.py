@@ -1,0 +1,190 @@
+"""Waste-water (sewer) network and blockage ("choke") simulator.
+
+The chapter's domain-knowledge discussion (Figs 18.5 and 18.6) uses waste
+water pipes: a large share of blockages are caused by tree-root intrusion,
+so choke rates rise steeply with tree canopy coverage and with soil
+moisture. This module generates a sewer network (vitrified clay dominates
+older stock, PVC the newer) and samples choke events whose hazard couples
+multiplicatively to the canopy and moisture layers, reproducing the
+positive relationships the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..gis.canopy import CanopyMap
+from ..gis.moisture import MoistureMap
+from ..network.network import PipeNetwork
+from ..network.pipe import Coating, Material, Pipe, PipeSegment
+from .datasets import PipeDataset, build_environment
+from .regions import OBSERVATION_YEARS, RegionSpec, get_region
+from .schema import FailureRecord
+
+#: Sewer material mix by era: VC pre-1970s, concrete trunks, PVC after.
+_SEWER_MATERIALS = {
+    0: ([Material.VC, Material.CONC], [0.85, 0.15]),
+    1: ([Material.VC, Material.CONC], [0.80, 0.20]),
+    2: ([Material.VC, Material.CONC, Material.PVC], [0.60, 0.15, 0.25]),
+    3: ([Material.PVC, Material.VC, Material.CONC], [0.55, 0.30, 0.15]),
+    4: ([Material.PVC, Material.PE, Material.CONC], [0.70, 0.20, 0.10]),
+}
+
+#: Root-intrusion susceptibility (jointed clay pipes are most vulnerable).
+_CHOKE_BASE = {
+    Material.VC: 2.6,
+    Material.CONC: 1.2,
+    Material.PVC: 0.5,
+    Material.PE: 0.4,
+}
+
+
+def _sewer_spec(spec: RegionSpec) -> RegionSpec:
+    """Sewer variant of a water-region spec.
+
+    The sewer network is smaller in pipe count (longer gravity runs) and
+    chokes are ~1.5x as frequent as water-main breaks; diameters are all
+    reticulation-sized, so the CWM split is not used downstream.
+    """
+    n_pipes = max(2, round(spec.n_pipes * 0.6))
+    n_failures = round(spec.target_failures_all * 1.5)
+    return replace(
+        spec,
+        name=f"{spec.name}-WW",
+        n_pipes=n_pipes,
+        n_cwm=max(1, round(n_pipes * 0.1)),
+        target_failures_all=n_failures,
+        target_failures_cwm=max(1, round(n_failures * 0.1)),
+        seed=spec.seed + 7000,
+    )
+
+
+def generate_wastewater_network(spec: RegionSpec, rng: np.random.Generator) -> PipeNetwork:
+    """Sewer network: gravity runs along the street grid, era-typed materials."""
+    side = spec.side_m
+    block = spec.block_size_m
+    network = PipeNetwork(region=spec.name)
+    n = spec.n_pipes
+    lengths = np.clip(rng.lognormal(np.log(90.0), 0.45, n), 20.0, 400.0)
+    laid = np.clip(
+        spec.laid_year_lo
+        + (spec.laid_year_hi - spec.laid_year_lo) * rng.beta(3.0, 2.5, n),
+        spec.laid_year_lo,
+        spec.laid_year_hi,
+    ).astype(int)
+    diameters = rng.choice(np.array([150.0, 225.0, 300.0]), size=n, p=[0.6, 0.3, 0.1])
+    horizontal = rng.random(n) < 0.5
+    n_streets = max(2, int(side // block))
+    street_idx = rng.integers(0, n_streets + 1, size=n)
+    start_along = rng.uniform(0.0, np.maximum(side - lengths, 1.0))
+    lateral = street_idx * block + rng.normal(0.0, 4.0, n)
+
+    from .generator import era_bucket  # local import avoids a cycle at import time
+
+    for i in range(n):
+        pipe_id = f"{spec.name}-W{i:05d}"
+        if horizontal[i]:
+            start = (float(start_along[i]), float(lateral[i]))
+            end = (float(start_along[i] + lengths[i]), float(lateral[i]))
+        else:
+            start = (float(lateral[i]), float(start_along[i]))
+            end = (float(lateral[i]), float(start_along[i] + lengths[i]))
+        n_segments = max(1, int(round(lengths[i] / 30.0)))
+        dx = (end[0] - start[0]) / n_segments
+        dy = (end[1] - start[1]) / n_segments
+        segments = [
+            PipeSegment(
+                segment_id=f"{pipe_id}/s{k}",
+                pipe_id=pipe_id,
+                start=(start[0] + k * dx, start[1] + k * dy),
+                end=(start[0] + (k + 1) * dx, start[1] + (k + 1) * dy),
+            )
+            for k in range(n_segments)
+        ]
+        era = era_bucket(int(laid[i]))
+        materials, probs = _SEWER_MATERIALS[era]
+        material = materials[int(rng.choice(len(materials), p=np.asarray(probs) / np.sum(probs)))]
+        network.add_pipe(
+            Pipe(
+                pipe_id=pipe_id,
+                material=material,
+                coating=Coating.NONE,
+                diameter_mm=float(diameters[i]),
+                laid_year=int(laid[i]),
+                segments=segments,
+            )
+        )
+    return network
+
+
+def simulate_chokes(
+    network: PipeNetwork,
+    canopy: CanopyMap,
+    moisture: MoistureMap,
+    spec: RegionSpec,
+    rng: np.random.Generator,
+    years: tuple[int, ...] = OBSERVATION_YEARS,
+) -> list[FailureRecord]:
+    """Sample blockage events driven by roots (canopy × moisture × material).
+
+    The hazard grows superlinearly with canopy coverage (root mass scales
+    with canopy area) and linearly with moisture, and is calibrated by
+    bisection to the sewer spec's total choke target.
+    """
+    from .failures import _calibrate_multiplier  # shared calibration core
+
+    segments = network.segments()
+    pipes = {p.pipe_id: p for p in network.iter_pipes()}
+    midpoints = [s.midpoint for s in segments]
+    lengths = np.asarray([s.length for s in segments])
+    materials = [pipes[s.pipe_id].material for s in segments]
+    laid = np.asarray([pipes[s.pipe_id].laid_year for s in segments], dtype=float)
+    base = np.asarray([_CHOKE_BASE.get(m, 1.0) for m in materials])
+    cover = canopy.coverage_at(midpoints)
+
+    hazard = np.empty((len(segments), len(years)))
+    for j, year in enumerate(years):
+        wet = moisture.moisture_at(midpoints, year=year)
+        age = np.maximum(year - laid, 0.0)
+        hazard[:, j] = (
+            base
+            * (0.15 + 2.8 * cover**1.5)
+            * (0.12 + 2.4 * wet)
+            * (0.5 + (age / 50.0) ** 1.2)
+            * (lengths / 40.0)
+        )
+    mult = _calibrate_multiplier(hazard.ravel(), spec.target_failures_all)
+    prob = 1.0 - np.exp(-mult * hazard)
+    draws = rng.random(prob.shape)
+    hit_seg, hit_year = np.nonzero(draws < prob)
+    records = [
+        FailureRecord(
+            year=int(years[j]),
+            pipe_id=segments[i].pipe_id,
+            segment_id=segments[i].segment_id,
+            location=segments[i].midpoint,
+        )
+        for i, j in zip(hit_seg, hit_year)
+    ]
+    records.sort()
+    return records
+
+
+def load_wastewater_region(
+    name: str, scale: float | None = None, seed: int | None = None
+) -> PipeDataset:
+    """Generate one region's waste-water dataset (chokes as failures)."""
+    water_spec = get_region(name, scale=scale)
+    spec = _sewer_spec(water_spec)
+    rng = np.random.default_rng(spec.seed if seed is None else seed)
+    network = generate_wastewater_network(spec, rng)
+    environment = build_environment(network, spec, rng, with_vegetation=True)
+    assert environment.canopy is not None and environment.moisture is not None
+    failures = simulate_chokes(
+        network, environment.canopy, environment.moisture, spec, rng
+    )
+    return PipeDataset(
+        spec=spec, network=network, environment=environment, failures=failures
+    )

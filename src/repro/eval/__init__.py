@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, significance, experiments, economics, risk maps."""
+
+from .economics import CostModel, PlanEconomics, plan_economics, savings_curve
+from .experiment import (
+    PAPER_MODELS,
+    ComparisonResult,
+    ModelEvaluation,
+    RegionRun,
+    default_models,
+    evaluate_models,
+    prepare_region_data,
+    run_comparison,
+)
+from .metrics import (
+    DetectionCurve,
+    auc_at_budget,
+    detection_curve,
+    empirical_auc,
+    permyriad,
+    roc_curve,
+)
+from .reporting import (
+    binned_rate_table,
+    detection_readout,
+    format_table,
+    table_18_1,
+    table_18_3,
+    table_18_4,
+)
+from .riskmap import DEFAULT_BANDS, RiskMap
+from .significance import TTestResult, bootstrap_auc_samples, paired_t_test, t_sf
+
+__all__ = [
+    "CostModel",
+    "PlanEconomics",
+    "plan_economics",
+    "savings_curve",
+    "PAPER_MODELS",
+    "ComparisonResult",
+    "ModelEvaluation",
+    "RegionRun",
+    "default_models",
+    "evaluate_models",
+    "prepare_region_data",
+    "run_comparison",
+    "DetectionCurve",
+    "auc_at_budget",
+    "detection_curve",
+    "empirical_auc",
+    "permyriad",
+    "roc_curve",
+    "binned_rate_table",
+    "detection_readout",
+    "format_table",
+    "table_18_1",
+    "table_18_3",
+    "table_18_4",
+    "DEFAULT_BANDS",
+    "RiskMap",
+    "TTestResult",
+    "bootstrap_auc_samples",
+    "paired_t_test",
+    "t_sf",
+]

@@ -1,0 +1,190 @@
+"""Experiment runner: the paper's train/test protocol over models × regions.
+
+Protocol (§18.4): critical water mains only; train on the 1998–2008
+failure records, test on 2009; rank pipes by predicted risk; report the
+full-range AUC and the 1%-budget AUC (in ‱), plus detection curves; and
+assess significance with one-sided paired t-tests over repeated
+evaluations (each repeat regenerates the region with a fresh seed and
+refits every model on it, giving paired per-repeat AUC samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.base import FailureModel
+from ..core.dpmhbp import DPMHBPModel
+from ..core.hbp import HBPBestModel
+from ..core.ranking.model import AUCRankingModel, SVMRankingModel
+from ..core.survival_models import CoxPHModel, WeibullModel
+from ..data.datasets import load_region
+from ..features.builder import FeatureConfig, ModelData, build_model_data
+from ..network.pipe import PipeClass
+from .metrics import DetectionCurve, auc_at_budget, detection_curve, empirical_auc, permyriad
+from .significance import TTestResult, paired_t_test
+
+#: The model line-up of Table 18.3 (plus the AUC-optimised ranker).
+PAPER_MODELS: tuple[str, ...] = ("DPMHBP", "HBP", "Cox", "SVM", "Weibull")
+
+ModelFactory = Callable[[int], list[FailureModel]]
+
+
+def default_models(seed: int = 0, fast: bool = False) -> list[FailureModel]:
+    """The compared line-up; ``fast`` trims MCMC sweeps for quick runs."""
+    sweeps = (50, 20) if fast else (80, 30)
+    hbp_sweeps = (120, 40) if fast else (250, 100)
+    return [
+        DPMHBPModel(seed=seed, n_sweeps=sweeps[0], burn_in=sweeps[1]),
+        HBPBestModel(seed=seed, c_group=15.0, n_sweeps=hbp_sweeps[0], burn_in=hbp_sweeps[1]),
+        CoxPHModel(),
+        SVMRankingModel(seed=seed),
+        WeibullModel(),
+        AUCRankingModel(seed=seed, generations=30 if fast else 60),
+    ]
+
+
+@dataclass
+class ModelEvaluation:
+    """One model's scores and metrics on one region instance."""
+
+    model_name: str
+    scores: np.ndarray
+    auc: float
+    auc_budget_permyriad: float  # AUC over [0, 1%] in ‱
+    budget: float = 0.01
+
+    def curve(self, labels: np.ndarray, lengths: np.ndarray | None = None) -> DetectionCurve:
+        """Detection curve against the given labels."""
+        return detection_curve(self.scores, labels, lengths=lengths)
+
+
+@dataclass
+class RegionRun:
+    """All models evaluated on one generated region instance."""
+
+    region: str
+    seed: int
+    labels: np.ndarray
+    pipe_lengths: np.ndarray
+    evaluations: dict[str, ModelEvaluation] = field(default_factory=dict)
+
+    def auc(self, model_name: str) -> float:
+        return self.evaluations[model_name].auc
+
+    def auc_budget(self, model_name: str) -> float:
+        return self.evaluations[model_name].auc_budget_permyriad
+
+
+def prepare_region_data(
+    region: str,
+    seed: int | None = None,
+    scale: float | None = None,
+    pipe_class: PipeClass | None = PipeClass.CWM,
+    feature_config: FeatureConfig | None = None,
+) -> ModelData:
+    """Generate a region and build the shared model inputs."""
+    dataset = load_region(region, scale=scale, seed=seed)
+    if pipe_class is not None:
+        dataset = dataset.subset(pipe_class)
+    return build_model_data(dataset, feature_config)
+
+
+def evaluate_models(
+    data: ModelData,
+    models: Sequence[FailureModel],
+    budget: float = 0.01,
+    region: str = "?",
+    seed: int = 0,
+) -> RegionRun:
+    """Fit and score every model on one prepared region."""
+    labels = data.pipe_fail_test
+    if labels.sum() == 0:
+        raise ValueError(
+            f"region {region!r} (seed {seed}) has no test-year failures; "
+            "increase the scale or use another seed"
+        )
+    run = RegionRun(
+        region=region, seed=seed, labels=labels, pipe_lengths=data.pipe_lengths
+    )
+    for model in models:
+        scores = model.fit_predict(data)
+        run.evaluations[model.name] = ModelEvaluation(
+            model_name=model.name,
+            scores=scores,
+            auc=empirical_auc(scores, labels),
+            auc_budget_permyriad=permyriad(auc_at_budget(scores, labels, budget=budget)),
+            budget=budget,
+        )
+    return run
+
+
+@dataclass
+class ComparisonResult:
+    """Repeated-evaluation results over regions × models × seeds."""
+
+    runs: dict[str, list[RegionRun]]  # region -> one RegionRun per repeat
+
+    @property
+    def regions(self) -> list[str]:
+        return list(self.runs)
+
+    def model_names(self) -> list[str]:
+        first = next(iter(self.runs.values()))[0]
+        return list(first.evaluations)
+
+    def auc_samples(self, region: str, model: str) -> np.ndarray:
+        """Per-repeat full-range AUCs."""
+        return np.asarray([r.auc(model) for r in self.runs[region]])
+
+    def budget_samples(self, region: str, model: str) -> np.ndarray:
+        """Per-repeat 1%-budget AUCs (‱)."""
+        return np.asarray([r.auc_budget(model) for r in self.runs[region]])
+
+    def mean_auc(self, region: str, model: str) -> float:
+        return float(self.auc_samples(region, model).mean())
+
+    def mean_budget_auc(self, region: str, model: str) -> float:
+        return float(self.budget_samples(region, model).mean())
+
+    def t_test(
+        self, region: str, model_a: str, model_b: str, metric: str = "auc"
+    ) -> TTestResult:
+        """One-sided paired t-test that ``model_a`` beats ``model_b``."""
+        samples = self.auc_samples if metric == "auc" else self.budget_samples
+        return paired_t_test(samples(region, model_a), samples(region, model_b))
+
+
+def run_comparison(
+    regions: Sequence[str] = ("A", "B", "C"),
+    n_repeats: int = 5,
+    scale: float | None = None,
+    models_factory: ModelFactory | None = None,
+    budget: float = 0.01,
+    base_seed: int = 0,
+    fast: bool = True,
+    feature_config: FeatureConfig | None = None,
+) -> ComparisonResult:
+    """The full Table 18.3/18.4 experiment.
+
+    Each repeat regenerates every region with seed ``base_seed + repeat``
+    (repeat 0 uses the region's canonical seed) and refits all models, so
+    per-repeat metrics are paired across models.
+    """
+    if n_repeats < 1:
+        raise ValueError("need at least one repeat")
+    factory = models_factory or (lambda s: default_models(seed=s, fast=fast))
+    runs: dict[str, list[RegionRun]] = {r: [] for r in regions}
+    for repeat in range(n_repeats):
+        seed = None if repeat == 0 else base_seed + 1000 + repeat
+        for region in regions:
+            data = prepare_region_data(region, seed=seed, scale=scale)
+            models = factory(repeat)
+            runs[region].append(
+                evaluate_models(
+                    data, models, budget=budget, region=region, seed=seed or 0
+                )
+            )
+    return ComparisonResult(runs=runs)

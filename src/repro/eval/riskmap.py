@@ -1,0 +1,129 @@
+"""Risk maps: percentile-coloured network drawings with test-year failures.
+
+Reproduces Fig. 18.9's visualisation: pipes coloured by predicted-risk
+percentile band (red = top 10% high-risk), with the failures that actually
+occurred in the test year overlaid as stars. Output is a standalone SVG
+string/file — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..data.datasets import PipeDataset
+
+#: (upper percentile bound, colour, legend label) from highest to lowest risk.
+DEFAULT_BANDS: tuple[tuple[float, str, str], ...] = (
+    (0.10, "#d62728", "top 10% risk"),
+    (0.30, "#ff7f0e", "10–30%"),
+    (0.60, "#ffd21f", "30–60%"),
+    (1.00, "#1f77b4", "bottom 40%"),
+)
+
+
+@dataclass
+class RiskMap:
+    """A risk-banded view of a network for one model's scores."""
+
+    dataset: PipeDataset
+    scores: np.ndarray  # aligned with dataset.pipe_ids()
+    bands: tuple[tuple[float, str, str], ...] = DEFAULT_BANDS
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=float)
+        n = self.dataset.network.n_pipes
+        if self.scores.shape != (n,):
+            raise ValueError(f"need one score per pipe ({n}), got {self.scores.shape}")
+
+    def band_of(self) -> np.ndarray:
+        """Band index per pipe (0 = highest risk band)."""
+        order = np.argsort(-self.scores, kind="mergesort")
+        n = self.scores.size
+        band_idx = np.empty(n, dtype=int)
+        start = 0
+        for b, (upper, _colour, _label) in enumerate(self.bands):
+            end = int(round(upper * n))
+            band_idx[order[start:end]] = b
+            start = end
+        band_idx[order[start:]] = len(self.bands) - 1
+        return band_idx
+
+    def test_failure_points(self) -> list[tuple[float, float]]:
+        """Locations of the failures that occurred in the test year."""
+        test_year = self.dataset.test_year
+        return [r.location for r in self.dataset.failures if r.year == test_year]
+
+    def top_band_hit_rate(self) -> float:
+        """Share of test-year-failing pipes inside the top risk band."""
+        bands = self.band_of()
+        pipe_ids = self.dataset.pipe_ids()
+        index = {pid: i for i, pid in enumerate(pipe_ids)}
+        failed = {
+            r.pipe_id for r in self.dataset.failures if r.year == self.dataset.test_year
+        }
+        failed_rows = [index[p] for p in failed if p in index]
+        if not failed_rows:
+            raise ValueError("no test-year failures on mapped pipes")
+        return float(np.mean(bands[failed_rows] == 0))
+
+    def to_svg(self, width: int = 800, stroke: float = 1.4) -> str:
+        """Standalone SVG drawing of the banded network plus failure stars."""
+        box = self.dataset.network.bounding_box(margin=50.0)
+        scale = width / max(box.width, 1e-9)
+        height = int(np.ceil(box.height * scale))
+
+        def sx(x: float) -> float:
+            return (x - box.min_x) * scale
+
+        def sy(y: float) -> float:
+            return height - (y - box.min_y) * scale  # flip: SVG y grows down
+
+        band_idx = self.band_of()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+        pipes = self.dataset.network.pipes()
+        # Draw low-risk bands first so high-risk pipes stay visible on top.
+        for b in range(len(self.bands) - 1, -1, -1):
+            colour = self.bands[b][1]
+            for i, pipe in enumerate(pipes):
+                if band_idx[i] != b:
+                    continue
+                for seg in pipe.segments:
+                    parts.append(
+                        f'<line x1="{sx(seg.start[0]):.1f}" y1="{sy(seg.start[1]):.1f}" '
+                        f'x2="{sx(seg.end[0]):.1f}" y2="{sy(seg.end[1]):.1f}" '
+                        f'stroke="{colour}" stroke-width="{stroke}"/>'
+                    )
+        for (x, y) in self.test_failure_points():
+            parts.append(_star(sx(x), sy(y), 5.0))
+        # Legend.
+        for b, (_upper, colour, label) in enumerate(self.bands):
+            y0 = 18 + 16 * b
+            parts.append(
+                f'<rect x="10" y="{y0 - 9}" width="12" height="10" fill="{colour}"/>'
+                f'<text x="28" y="{y0}" font-size="12" font-family="sans-serif">{label}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save_svg(self, path: str | Path, width: int = 800) -> Path:
+        """Write the SVG to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_svg(width=width))
+        return path
+
+
+def _star(cx: float, cy: float, r: float) -> str:
+    """Five-pointed star polygon marker (black, as in the paper's figure)."""
+    points = []
+    for i in range(10):
+        radius = r if i % 2 == 0 else r * 0.4
+        angle = -np.pi / 2 + i * np.pi / 5
+        points.append(f"{cx + radius * np.cos(angle):.1f},{cy + radius * np.sin(angle):.1f}")
+    return f'<polygon points="{" ".join(points)}" fill="black"/>'

@@ -1,0 +1,30 @@
+"""GIS substrate: soil layers, traffic intersections, canopy & moisture fields."""
+
+from .canopy import CanopyMap
+from .fields import CategoricalField, ScalarField
+from .moisture import MoistureMap
+from .soil import (
+    CORROSIVENESS_LEVELS,
+    EXPANSIVENESS_LEVELS,
+    GEOLOGY_TYPES,
+    SOIL_MAP_TYPES,
+    SoilLayers,
+    corrosiveness_severity,
+    expansiveness_severity,
+)
+from .traffic import TrafficNetwork
+
+__all__ = [
+    "CanopyMap",
+    "CategoricalField",
+    "ScalarField",
+    "MoistureMap",
+    "CORROSIVENESS_LEVELS",
+    "EXPANSIVENESS_LEVELS",
+    "GEOLOGY_TYPES",
+    "SOIL_MAP_TYPES",
+    "SoilLayers",
+    "corrosiveness_severity",
+    "expansiveness_severity",
+    "TrafficNetwork",
+]

@@ -1,0 +1,42 @@
+"""Tree canopy coverage layer (waste-water blockage driver).
+
+The paper estimates tree-root extent from satellite-derived tree canopy
+area; blockage (choke) rates rise strongly with canopy coverage
+(Fig. 18.5). Here canopy coverage is a smooth [0, 1] scalar field sampled
+at segment midpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..network.geometry import BoundingBox, Point
+from .fields import ScalarField
+
+
+@dataclass
+class CanopyMap:
+    """Fraction of ground covered by tree canopy, in [0, 1]."""
+
+    field: ScalarField
+
+    def coverage_at(self, points: Sequence[Point]) -> np.ndarray:
+        """Canopy coverage fraction at each point."""
+        return self.field.values_at(points)
+
+    @staticmethod
+    def random(bbox: BoundingBox, rng: np.random.Generator, n_groves: int = 60) -> "CanopyMap":
+        """Random canopy map: distinct groves over a lightly vegetated base."""
+        return CanopyMap(
+            field=ScalarField.random(
+                bbox,
+                rng,
+                n_bumps=n_groves,
+                length_scale_fraction=0.05,
+                baseline=0.05,
+                amplitude=0.6,
+            )
+        )

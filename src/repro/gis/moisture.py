@@ -1,0 +1,54 @@
+"""Soil moisture layer with yearly variation (waste-water blockage driver).
+
+Soil moisture drives root growth toward sewers; choke rates rise with
+moisture (Fig. 18.6). Modelled as a smooth spatial base field modulated by
+a per-year multiplier (wet vs dry years), both in [0, 1] after clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..network.geometry import BoundingBox, Point
+from .fields import ScalarField
+
+
+@dataclass
+class MoistureMap:
+    """Spatio-temporal soil moisture: ``moisture(p, year) = base(p)·m_year``."""
+
+    field: ScalarField
+    year_multipliers: dict[int, float] = field(default_factory=dict)
+
+    def moisture_at(self, points: Sequence[Point], year: int | None = None) -> np.ndarray:
+        """Moisture in [0, 1] at each point (optionally for one year)."""
+        base = self.field.values_at(points)
+        if year is None:
+            return base
+        multiplier = self.year_multipliers.get(year, 1.0)
+        return np.clip(base * multiplier, 0.0, 1.0)
+
+    @staticmethod
+    def random(
+        bbox: BoundingBox,
+        rng: np.random.Generator,
+        years: Sequence[int] = (),
+        n_bumps: int = 30,
+    ) -> "MoistureMap":
+        """Random moisture map; wet/dry years drawn around a mean of 1."""
+        # Modest amplitudes keep the field away from the [0, 1] clipping
+        # boundary, so moisture retains a usable gradient across the region
+        # (a saturated field would flatten the Fig. 18.6 relationship).
+        fld = ScalarField.random(
+            bbox,
+            rng,
+            n_bumps=n_bumps,
+            length_scale_fraction=0.12,
+            baseline=0.08,
+            amplitude=0.22,
+        )
+        multipliers = {int(y): float(np.clip(rng.normal(1.0, 0.25), 0.4, 1.6)) for y in years}
+        return MoistureMap(field=fld, year_multipliers=multipliers)

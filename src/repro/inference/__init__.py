@@ -1,0 +1,40 @@
+"""From-scratch MCMC substrate: Metropolis steps, Gibbs driver, diagnostics."""
+
+from .chains import Trace
+from .diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_zscore,
+    split_rhat,
+    summarise_chain,
+)
+from .gibbs import GibbsSampler
+from .metropolis import (
+    TARGET_ACCEPT_1D,
+    AcceptanceTracker,
+    AdaptiveScale,
+    expit,
+    logit,
+    metropolis_probability_step,
+    metropolis_step,
+)
+from .slice import slice_probability_step, slice_sample_step
+
+__all__ = [
+    "Trace",
+    "autocorrelation",
+    "effective_sample_size",
+    "geweke_zscore",
+    "split_rhat",
+    "summarise_chain",
+    "GibbsSampler",
+    "TARGET_ACCEPT_1D",
+    "AcceptanceTracker",
+    "AdaptiveScale",
+    "expit",
+    "logit",
+    "metropolis_probability_step",
+    "metropolis_step",
+    "slice_probability_step",
+    "slice_sample_step",
+]

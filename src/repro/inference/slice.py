@@ -1,0 +1,84 @@
+"""Slice sampling (Neal 2003) — an alternative non-conjugate update.
+
+The Metropolis-within-Gibbs blocks for the group rates ``q_k`` need a
+step-size; slice sampling removes that tuning knob entirely: sample a
+height under the density, then shrink a bracket until a point inside the
+slice is found. Provided both as a generic scalar sampler and as a
+drop-in probability-parameter update mirroring
+:func:`repro.inference.metropolis.metropolis_probability_step`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .metropolis import expit, logit
+
+
+def slice_sample_step(
+    current: float,
+    log_target: Callable[[float], float],
+    rng: np.random.Generator,
+    width: float = 1.0,
+    max_steps_out: int = 50,
+    max_shrinks: int = 200,
+) -> float:
+    """One univariate slice-sampling update with stepping-out.
+
+    Returns a new point exactly distributed under ``log_target``'s
+    conditional (no accept/reject waste). ``width`` is only an initial
+    bracket size — the result does not depend on it asymptotically.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    logp = log_target(current)
+    # Vertical slice: log u = logp - Exp(1).
+    log_height = logp - rng.exponential(1.0)
+
+    # Step out a bracket [lo, hi] containing the slice.
+    lo = current - width * rng.random()
+    hi = lo + width
+    steps = max_steps_out
+    while steps > 0 and log_target(lo) > log_height:
+        lo -= width
+        steps -= 1
+    steps = max_steps_out
+    while steps > 0 and log_target(hi) > log_height:
+        hi += width
+        steps -= 1
+
+    # Shrink until a draw lands inside the slice.
+    for _ in range(max_shrinks):
+        proposal = lo + (hi - lo) * rng.random()
+        if log_target(proposal) > log_height:
+            return proposal
+        if proposal < current:
+            lo = proposal
+        else:
+            hi = proposal
+    # Pathological target; fall back to the current point (still valid MCMC).
+    return current
+
+
+def slice_probability_step(
+    current_p: float,
+    log_target: Callable[[float], float],
+    rng: np.random.Generator,
+    width: float = 2.0,
+) -> float:
+    """Slice update of a probability parameter on the logit scale.
+
+    ``log_target`` takes the probability itself; the logit Jacobian is
+    applied internally so the chain targets the stated density.
+    """
+
+    def transformed(x: float) -> float:
+        p = expit(x)
+        p = min(max(p, 1e-12), 1.0 - 1e-12)
+        return log_target(p) + math.log(p) + math.log1p(-p)
+
+    x = logit(min(max(current_p, 1e-12), 1.0 - 1e-12))
+    return expit(slice_sample_step(x, transformed, rng, width=width))

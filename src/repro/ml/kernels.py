@@ -1,0 +1,42 @@
+"""Kernel functions (Gram-matrix builders).
+
+The evaluation protocol uses a *linear* kernel for the SVM ranking method;
+RBF and polynomial kernels are provided for completeness and for the
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_kernel(X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+    """Gram matrix ``K[i, j] = x_i · y_j``."""
+    X = np.asarray(X, dtype=float)
+    Y = X if Y is None else np.asarray(Y, dtype=float)
+    return X @ Y.T
+
+
+def rbf_kernel(X: np.ndarray, Y: np.ndarray | None = None, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian RBF Gram matrix ``exp(-γ‖x−y‖²)``."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    X = np.asarray(X, dtype=float)
+    Y = X if Y is None else np.asarray(Y, dtype=float)
+    sq = (
+        np.sum(X**2, axis=1)[:, None]
+        - 2.0 * (X @ Y.T)
+        + np.sum(Y**2, axis=1)[None, :]
+    )
+    return np.exp(-gamma * np.maximum(sq, 0.0))
+
+
+def polynomial_kernel(
+    X: np.ndarray, Y: np.ndarray | None = None, degree: int = 2, coef0: float = 1.0
+) -> np.ndarray:
+    """Polynomial Gram matrix ``(x·y + coef0)^degree``."""
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    X = np.asarray(X, dtype=float)
+    Y = X if Y is None else np.asarray(Y, dtype=float)
+    return (X @ Y.T + coef0) ** degree

@@ -1,0 +1,91 @@
+"""Feature preprocessing: standardisation and one-hot encoding.
+
+Minimal fit/transform implementations with the invariants the models rely
+on: transforms are deterministic given a fitted state, unseen categories
+map to an all-zeros block (so test-time data never crashes a model), and
+near-constant columns are not divided by ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class StandardScaler:
+    """Column-wise standardisation to zero mean / unit variance."""
+
+    mean_: np.ndarray | None = None
+    scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = _as_matrix(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant columns carry no information; dividing by 1 keeps them 0.
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        X = _as_matrix(X)
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(f"expected {self.mean_.size} columns, got {X.shape[1]}")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+@dataclass
+class OneHotEncoder:
+    """One-hot encoding of a single categorical column.
+
+    Categories are learnt at fit time (sorted by string form for
+    determinism); unseen categories at transform time encode to all zeros.
+    """
+
+    categories_: list[Hashable] = field(default_factory=list)
+    _index: dict[Hashable, int] = field(default_factory=dict, repr=False)
+
+    def fit(self, values: Sequence[Hashable]) -> "OneHotEncoder":
+        self.categories_ = sorted(set(values), key=str)
+        self._index = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        if not self.categories_:
+            raise RuntimeError("OneHotEncoder used before fit()")
+        out = np.zeros((len(values), len(self.categories_)))
+        for row, v in enumerate(values):
+            col = self._index.get(v)
+            if col is not None:
+                out[row, col] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def feature_names(self, prefix: str) -> list[str]:
+        """Column names like ``"material=PVC"`` for reporting."""
+        return [f"{prefix}={c}" for c in self.categories_]
+
+
+def add_intercept(X: np.ndarray) -> np.ndarray:
+    """Prepend a column of ones."""
+    X = _as_matrix(X)
+    return np.hstack([np.ones((X.shape[0], 1)), X])
+
+
+def _as_matrix(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X[:, None]
+    if X.ndim != 2:
+        raise ValueError("expected a 2-D feature matrix")
+    return X

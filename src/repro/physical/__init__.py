@@ -1,0 +1,17 @@
+"""Domain-knowledge-driven physical models (the paper's contrast methodology)."""
+
+from .corrosion import (
+    CORROSIVITY_RATE,
+    TwoPhasePitModel,
+    degradation_ratio,
+    wall_thickness_mm,
+)
+from .model import PhysicalConditionModel
+
+__all__ = [
+    "CORROSIVITY_RATE",
+    "TwoPhasePitModel",
+    "degradation_ratio",
+    "wall_thickness_mm",
+    "PhysicalConditionModel",
+]

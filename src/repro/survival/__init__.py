@@ -1,0 +1,29 @@
+"""Survival analysis: Cox PH, Weibull NHPP, time models, nonparametric estimators."""
+
+from .cox import CoxPH
+from .nonparametric import (
+    KaplanMeier,
+    LogRankResult,
+    NelsonAalen,
+    chi2_sf,
+    kaplan_meier,
+    logrank_test,
+    nelson_aalen,
+)
+from .time_models import TimeExponentialModel, TimeLinearModel, TimePowerModel
+from .weibull import WeibullNHPP
+
+__all__ = [
+    "CoxPH",
+    "KaplanMeier",
+    "LogRankResult",
+    "NelsonAalen",
+    "chi2_sf",
+    "kaplan_meier",
+    "logrank_test",
+    "nelson_aalen",
+    "TimeExponentialModel",
+    "TimeLinearModel",
+    "TimePowerModel",
+    "WeibullNHPP",
+]

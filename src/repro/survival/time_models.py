@@ -1,0 +1,132 @@
+"""Early single-covariate ageing models from the related-work section.
+
+Three classics relating pipe age to failures per unit length per year:
+
+* **time-exponential** (Shamir & Howard 1979): ``rate(t) = a·e^{A·t}``,
+* **time-power** (Mavin 1996): ``rate(t) = a·t^{b}``,
+* **time-linear** (Kettler & Goulter 1985): ``rate(t) = a + b·t``.
+
+All three fit against pipe-year exposure records (failure count, age,
+length). The exponential and power models are Poisson GLMs in disguise;
+the linear model is a weighted least-squares fit on empirical age-binned
+rates (its identity link admits negative rates, which are floored at zero
+for prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.glm import PoissonRegression
+
+
+@dataclass
+class TimeExponentialModel:
+    """``failures / (length·year) = a·exp(A·age)``."""
+
+    l2: float = 1e-6
+    glm_: PoissonRegression | None = None
+
+    def fit(self, ages: np.ndarray, counts: np.ndarray, lengths: np.ndarray) -> "TimeExponentialModel":
+        ages, counts, lengths = _validate(ages, counts, lengths)
+        self.glm_ = PoissonRegression(l2=self.l2).fit(
+            ages[:, None], counts, exposure=lengths
+        )
+        return self
+
+    def rate(self, ages: np.ndarray) -> np.ndarray:
+        """Failures per metre-year at the given ages."""
+        if self.glm_ is None:
+            raise RuntimeError("model used before fit()")
+        ages = np.asarray(ages, dtype=float)
+        return self.glm_.predict_rate(ages[:, None])
+
+    def expected_failures(self, ages: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Expected one-year failure count for pipes of given age/length."""
+        return self.rate(ages) * np.asarray(lengths, dtype=float)
+
+
+@dataclass
+class TimePowerModel:
+    """``failures / (length·year) = a·age^b`` (log-age Poisson GLM)."""
+
+    l2: float = 1e-6
+    glm_: PoissonRegression | None = None
+
+    def fit(self, ages: np.ndarray, counts: np.ndarray, lengths: np.ndarray) -> "TimePowerModel":
+        ages, counts, lengths = _validate(ages, counts, lengths)
+        self.glm_ = PoissonRegression(l2=self.l2).fit(
+            np.log(np.maximum(ages, 0.5))[:, None], counts, exposure=lengths
+        )
+        return self
+
+    def rate(self, ages: np.ndarray) -> np.ndarray:
+        """Failures per metre-year at the given ages."""
+        if self.glm_ is None:
+            raise RuntimeError("model used before fit()")
+        ages = np.asarray(ages, dtype=float)
+        return self.glm_.predict_rate(np.log(np.maximum(ages, 0.5))[:, None])
+
+    def expected_failures(self, ages: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return self.rate(ages) * np.asarray(lengths, dtype=float)
+
+
+@dataclass
+class TimeLinearModel:
+    """``failures / (length·year) = a + b·age`` via weighted least squares.
+
+    Empirical rates are computed per integer-age bin (weighting each bin by
+    its exposure), then a straight line is fitted; predictions floor at 0.
+    """
+
+    intercept_: float | None = None
+    slope_: float | None = None
+
+    def fit(self, ages: np.ndarray, counts: np.ndarray, lengths: np.ndarray) -> "TimeLinearModel":
+        ages, counts, lengths = _validate(ages, counts, lengths)
+        bins = np.round(ages).astype(int)
+        uniq = np.unique(bins)
+        bin_ages, bin_rates, bin_weights = [], [], []
+        for b in uniq:
+            mask = bins == b
+            exposure = float(lengths[mask].sum())
+            if exposure <= 0:
+                continue
+            bin_ages.append(float(b))
+            bin_rates.append(float(counts[mask].sum()) / exposure)
+            bin_weights.append(exposure)
+        a = np.asarray(bin_ages)
+        r = np.asarray(bin_rates)
+        w = np.asarray(bin_weights)
+        design = np.stack([np.ones_like(a), a], axis=1)
+        wd = design * w[:, None]
+        coef = np.linalg.lstsq(wd.T @ design, wd.T @ r, rcond=None)[0]
+        self.intercept_, self.slope_ = float(coef[0]), float(coef[1])
+        return self
+
+    def rate(self, ages: np.ndarray) -> np.ndarray:
+        """Failures per metre-year (floored at zero)."""
+        if self.intercept_ is None or self.slope_ is None:
+            raise RuntimeError("model used before fit()")
+        ages = np.asarray(ages, dtype=float)
+        return np.maximum(self.intercept_ + self.slope_ * ages, 0.0)
+
+    def expected_failures(self, ages: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return self.rate(ages) * np.asarray(lengths, dtype=float)
+
+
+def _validate(
+    ages: np.ndarray, counts: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ages = np.asarray(ages, dtype=float).ravel()
+    counts = np.asarray(counts, dtype=float).ravel()
+    lengths = np.asarray(lengths, dtype=float).ravel()
+    if not (len(ages) == len(counts) == len(lengths)):
+        raise ValueError("ages, counts and lengths must align")
+    if np.any(lengths <= 0):
+        raise ValueError("lengths must be positive")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    return ages, counts, lengths

@@ -1,0 +1,40 @@
+"""Shared fixtures: small cached datasets so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_region, load_wastewater_region
+from repro.features import build_model_data
+from repro.network import PipeClass
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small region A replica (all pipe classes)."""
+    return load_region("A", scale=0.05, seed=9)
+
+
+@pytest.fixture(scope="session")
+def tiny_cwm(tiny_dataset):
+    """Critical water mains subset of the tiny dataset."""
+    return tiny_dataset.subset(PipeClass.CWM)
+
+
+@pytest.fixture(scope="session")
+def small_model_data(tiny_dataset):
+    """ModelData over *all* pipes — enough failures for model behaviour tests."""
+    return build_model_data(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def tiny_wastewater():
+    """A very small waste-water dataset with vegetation layers."""
+    return load_wastewater_region("A", scale=0.04, seed=11)

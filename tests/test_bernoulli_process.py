@@ -1,0 +1,75 @@
+"""Unit tests for Bernoulli-process draws and binary matrices."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.bernoulli_process import loglik, sample_draws, success_counts
+from repro.bayes.beta_process import DiscreteBetaProcess
+
+
+class TestSampleDraws:
+    def test_shape_and_binary(self, rng):
+        X = sample_draws(np.array([0.2, 0.8]), 50, rng)
+        assert X.shape == (2, 50)
+        assert set(np.unique(X)) <= {0, 1}
+
+    def test_rate_matches_weights(self, rng):
+        X = sample_draws(np.array([0.1, 0.9]), 5000, rng)
+        assert X[0].mean() == pytest.approx(0.1, abs=0.02)
+        assert X[1].mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_from_beta_process(self, rng):
+        bp = DiscreteBetaProcess(5.0, np.array([0.3, 0.3]))
+        X = sample_draws(bp, 20, rng)
+        assert X.shape == (2, 20)
+
+    def test_zero_draws(self, rng):
+        assert sample_draws(np.array([0.5]), 0, rng).shape == (1, 0)
+
+    def test_rejects_negative_draws(self, rng):
+        with pytest.raises(ValueError):
+            sample_draws(np.array([0.5]), -1, rng)
+
+    def test_rejects_invalid_weights(self, rng):
+        with pytest.raises(ValueError):
+            sample_draws(np.array([1.5]), 3, rng)
+
+
+class TestCountsAndLoglik:
+    def test_success_counts(self):
+        X = np.array([[1, 0, 1], [0, 0, 0]])
+        assert success_counts(X).tolist() == [2.0, 0.0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            success_counts(np.array([[2, 0]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            success_counts(np.array([1, 0]))
+
+    def test_loglik_direct(self):
+        X = np.array([[1, 0], [0, 0]])
+        w = np.array([0.3, 0.1])
+        expected = np.log(0.3) + np.log(0.7) + 2 * np.log(0.9)
+        assert loglik(X, w) == pytest.approx(expected)
+
+    def test_loglik_maximised_at_mle(self):
+        X = np.array([[1, 1, 0, 0]])
+        mle = loglik(X, np.array([0.5]))
+        assert mle > loglik(X, np.array([0.2]))
+        assert mle > loglik(X, np.array([0.8]))
+
+    def test_loglik_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            loglik(np.array([[1, 0]]), np.array([0.1, 0.2]))
+
+
+class TestConjugacyRoundTrip:
+    def test_posterior_predictive_improves(self, rng):
+        """Posterior from simulated draws recovers the simulating weights."""
+        true_w = np.array([0.05, 0.3, 0.6])
+        bp = DiscreteBetaProcess(2.0, np.array([0.2, 0.2, 0.2]))
+        X = sample_draws(true_w, 300, rng)
+        post = bp.posterior(success_counts(X), X.shape[1])
+        assert np.allclose(post.mean(), true_w, atol=0.06)

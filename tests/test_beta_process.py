@@ -1,0 +1,107 @@
+"""Unit and property tests for the discrete beta process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes.beta_process import DiscreteBetaProcess, sample_levy_atoms
+
+
+def make_bp(c=4.0, q=(0.1, 0.2, 0.05)):
+    return DiscreteBetaProcess(concentration=c, base_weights=np.asarray(q))
+
+
+class TestConstruction:
+    def test_valid(self):
+        bp = make_bp()
+        assert bp.n_atoms == 3
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            make_bp(c=0.0)
+
+    def test_rejects_boundary_weights(self):
+        with pytest.raises(ValueError):
+            make_bp(q=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            make_bp(q=(1.0, 0.5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteBetaProcess(1.0, np.zeros(0))
+
+
+class TestMoments:
+    def test_mean_is_base(self):
+        bp = make_bp()
+        assert bp.mean() == pytest.approx([0.1, 0.2, 0.05])
+
+    def test_variance_formula(self):
+        bp = make_bp(c=4.0, q=(0.2,))
+        assert bp.variance()[0] == pytest.approx(0.2 * 0.8 / 5.0)
+
+    def test_sample_mean_converges(self, rng):
+        bp = make_bp(c=10.0, q=(0.3,))
+        draws = np.array([bp.sample(rng)[0] for _ in range(4000)])
+        assert draws.mean() == pytest.approx(0.3, abs=0.02)
+        assert draws.var() == pytest.approx(bp.variance()[0], rel=0.15)
+
+
+class TestPosterior:
+    def test_eq_18_4_update(self):
+        """Posterior parameters follow the paper's conjugate update exactly."""
+        bp = make_bp(c=2.0, q=(0.1, 0.5))
+        post = bp.posterior(np.array([1.0, 4.0]), n_draws=5)
+        assert post.concentration == pytest.approx(7.0)
+        assert post.base_weights[0] == pytest.approx((2.0 * 0.1 + 1.0) / 7.0)
+        assert post.base_weights[1] == pytest.approx((2.0 * 0.5 + 4.0) / 7.0)
+
+    def test_no_data_shrinks_nothing(self):
+        bp = make_bp()
+        post = bp.posterior(np.zeros(3), n_draws=0)
+        assert post.mean() == pytest.approx(bp.mean())
+
+    def test_posterior_mean_between_prior_and_mle(self):
+        bp = make_bp(c=2.0, q=(0.1,))
+        post_mean = bp.posterior_mean(np.array([5.0]), n_draws=10)
+        assert 0.1 < post_mean[0] < 0.5 + 1e-12  # between prior 0.1 and MLE 0.5
+
+    def test_rejects_invalid_counts(self):
+        bp = make_bp()
+        with pytest.raises(ValueError):
+            bp.posterior(np.array([6.0, 0.0, 0.0]), n_draws=5)
+        with pytest.raises(ValueError):
+            bp.posterior(np.array([1.0]), n_draws=5)
+
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.01, max_value=0.5),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=50)
+    def test_posterior_concentration_grows(self, c, q, m, s):
+        s = min(s, m)
+        bp = DiscreteBetaProcess(c, np.array([q]))
+        post = bp.posterior(np.array([float(s)]), m)
+        assert post.concentration == pytest.approx(c + m)
+        assert 0.0 < post.base_weights[0] < 1.0
+
+    def test_posterior_consistency_against_simulation(self, rng):
+        """Posterior mean ≈ Monte-Carlo conditional mean of the conjugate Beta."""
+        c, q, m, s = 3.0, 0.15, 8, 3
+        bp = DiscreteBetaProcess(c, np.array([q]))
+        post = bp.posterior(np.array([float(s)]), m)
+        draws = rng.beta(c * q + s, c * (1 - q) + m - s, size=20000)
+        assert post.mean()[0] == pytest.approx(draws.mean(), abs=0.01)
+
+
+class TestLevyAtoms:
+    def test_sampling_runs(self, rng):
+        atoms = sample_levy_atoms(mass=3.0, concentration=1.0, rng=rng)
+        assert (atoms >= 0).all() and (atoms <= 1).all()
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            sample_levy_atoms(-1.0, 1.0, rng)

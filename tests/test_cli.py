@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summary_defaults(self):
+        args = build_parser().parse_args(["summary"])
+        assert args.regions == ["A", "B", "C"]
+
+    def test_compare_region_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--region", "Z"])
+
+    def test_plan_budget(self):
+        args = build_parser().parse_args(["plan", "--budget", "0.02"])
+        assert args.budget == 0.02
+
+
+class TestCommands:
+    def test_summary_runs(self, capsys):
+        assert main(["summary", "--regions", "A", "--scale", "0.03", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Region A" in out and "CWM" in out
+
+    def test_riskmap_runs(self, tmp_path, capsys):
+        out_file = tmp_path / "m.svg"
+        code = main(
+            [
+                "riskmap",
+                "--region",
+                "A",
+                "--scale",
+                "0.05",
+                "--seed",
+                "9",
+                "--sweeps",
+                "6",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+
+    def test_plan_runs(self, capsys):
+        code = main(
+            ["plan", "--region", "A", "--scale", "0.05", "--seed", "9", "--sweeps", "6", "--budget", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "net savings" in out

@@ -1,0 +1,107 @@
+"""Unit tests for the from-scratch Cox proportional hazards model."""
+
+import numpy as np
+import pytest
+
+from repro.survival.cox import CoxPH
+
+
+def simulate_cox(rng, n=600, beta=(0.8, -0.5), base_rate=0.05, horizon=30.0):
+    X = rng.standard_normal((n, len(beta)))
+    rate = base_rate * np.exp(X @ np.asarray(beta))
+    t = rng.exponential(1.0 / rate)
+    exit_time = np.minimum(t, horizon)
+    event = (t <= horizon).astype(float)
+    return X, exit_time, event
+
+
+class TestFitting:
+    def test_recovers_signs_and_magnitudes(self, rng):
+        X, t, e = simulate_cox(rng)
+        model = CoxPH(l2=1e-6).fit(X, t, e)
+        assert model.coef_[0] == pytest.approx(0.8, abs=0.2)
+        assert model.coef_[1] == pytest.approx(-0.5, abs=0.2)
+
+    def test_efron_close_to_breslow_few_ties(self, rng):
+        X, t, e = simulate_cox(rng, n=300)
+        b = CoxPH(ties="breslow").fit(X, t, e).coef_
+        f = CoxPH(ties="efron").fit(X, t, e).coef_
+        assert np.allclose(b, f, atol=0.05)
+
+    def test_heavy_ties_still_converges(self, rng):
+        X, t, e = simulate_cox(rng, n=400)
+        t = np.ceil(t)  # year-resolution ties, like pipe data
+        model = CoxPH().fit(X, t, e)
+        assert np.isfinite(model.coef_).all()
+        assert model.coef_[0] > 0.3
+
+    def test_no_events_flat_model(self, rng):
+        X = rng.standard_normal((50, 2))
+        model = CoxPH().fit(X, np.full(50, 10.0), np.zeros(50))
+        assert np.allclose(model.coef_, 0.0)
+        risk = model.interval_failure_probability(X, np.full(50, 5.0), np.full(50, 6.0))
+        assert np.allclose(risk, 0.0)
+
+    def test_invalid_tie_method(self):
+        with pytest.raises(ValueError):
+            CoxPH(ties="exact").fit(np.ones((3, 1)), np.ones(3), np.ones(3))
+
+    def test_misaligned_inputs(self, rng):
+        with pytest.raises(ValueError):
+            CoxPH().fit(np.ones((3, 1)), np.ones(2), np.ones(3))
+
+    def test_non_binary_event(self):
+        with pytest.raises(ValueError):
+            CoxPH().fit(np.ones((2, 1)), np.ones(2), np.array([0.5, 1.0]))
+
+
+class TestLeftTruncation:
+    def test_truncation_shifts_risk_sets(self, rng):
+        """With entry times, early event times only see early entrants."""
+        X, t, e = simulate_cox(rng, n=500)
+        entry = rng.uniform(0.0, 5.0, 500)
+        exit_time = np.maximum(t, entry + 0.1)
+        model = CoxPH().fit(X, exit_time, e, entry_time=entry)
+        assert np.isfinite(model.coef_).all()
+
+    def test_truncated_fit_consistent(self, rng):
+        """Left-truncated fit still recovers the positive effect direction."""
+        X, t, e = simulate_cox(rng, n=800, beta=(1.0,))
+        entry = np.full(800, 0.5)
+        keep = t > 0.5  # observed only if survived to entry
+        model = CoxPH().fit(X[keep], t[keep], e[keep], entry_time=entry[keep])
+        assert model.coef_[0] > 0.5
+
+
+class TestPrediction:
+    def test_baseline_monotone(self, rng):
+        X, t, e = simulate_cox(rng)
+        model = CoxPH().fit(X, t, e)
+        grid = np.linspace(0, 30, 20)
+        H = model.cumulative_baseline(grid)
+        assert np.all(np.diff(H) >= 0)
+
+    def test_relative_risk_orders_predictions(self, rng):
+        X, t, e = simulate_cox(rng, beta=(1.0,))
+        model = CoxPH().fit(X, t, e)
+        low = model.interval_failure_probability(np.array([[-2.0]]), np.array([5.0]), np.array([6.0]))
+        high = model.interval_failure_probability(np.array([[2.0]]), np.array([5.0]), np.array([6.0]))
+        assert high[0] > low[0]
+
+    def test_probabilities_in_unit_interval(self, rng):
+        X, t, e = simulate_cox(rng)
+        model = CoxPH().fit(X, t, e)
+        p = model.interval_failure_probability(X, np.full(len(X), 3.0), np.full(len(X), 4.0))
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_extrapolation_beyond_last_event_nonzero(self, rng):
+        X, t, e = simulate_cox(rng, n=300)
+        model = CoxPH().fit(X, t, e)
+        p = model.interval_failure_probability(
+            X[:5], np.full(5, 100.0), np.full(5, 101.0)
+        )
+        assert np.all(p > 0)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            CoxPH().relative_risk(np.ones((1, 1)))

@@ -1,0 +1,131 @@
+"""Unit and property tests for the Chinese restaurant process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes.crp import (
+    alpha_for_expected_tables,
+    expected_tables,
+    gibbs_weights,
+    log_eppf,
+    relabel,
+    sample_partition,
+    table_counts,
+)
+
+
+class TestSamplePartition:
+    def test_labels_contiguous(self, rng):
+        labels = sample_partition(100, 2.0, rng)
+        k = labels.max() + 1
+        assert set(labels) == set(range(k))
+
+    def test_first_customer_first_table(self, rng):
+        assert sample_partition(1, 1.0, rng).tolist() == [0]
+
+    def test_zero_customers(self, rng):
+        assert sample_partition(0, 1.0, rng).size == 0
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            sample_partition(10, 0.0, rng)
+
+    def test_table_count_grows_with_alpha(self):
+        rng = np.random.default_rng(7)
+        small = np.mean([sample_partition(200, 0.5, rng).max() + 1 for _ in range(20)])
+        rng = np.random.default_rng(7)
+        large = np.mean([sample_partition(200, 10.0, rng).max() + 1 for _ in range(20)])
+        assert large > small
+
+    def test_expected_tables_matches_simulation(self):
+        rng = np.random.default_rng(11)
+        n, alpha = 150, 3.0
+        sims = [sample_partition(n, alpha, rng).max() + 1 for _ in range(300)]
+        assert np.mean(sims) == pytest.approx(expected_tables(n, alpha), rel=0.08)
+
+
+class TestEPPF:
+    def test_single_customer(self):
+        assert log_eppf(np.array([1]), 2.0) == pytest.approx(0.0)
+
+    def test_two_customers_same_table(self):
+        # P = 1/(1+alpha)
+        alpha = 2.0
+        assert log_eppf(np.array([2]), alpha) == pytest.approx(np.log(1 / (1 + alpha)))
+
+    def test_two_customers_split(self):
+        alpha = 2.0
+        assert log_eppf(np.array([1, 1]), alpha) == pytest.approx(np.log(alpha / (1 + alpha)))
+
+    def test_normalises_over_partitions_n3(self):
+        """Σ over all set partitions of 3 customers = 1."""
+        alpha = 1.7
+        partitions = [
+            [3],  # {123}
+            [2, 1],  # {12}{3}
+            [2, 1],  # {13}{2}
+            [2, 1],  # {23}{1}
+            [1, 1, 1],  # {1}{2}{3}
+        ]
+        total = sum(np.exp(log_eppf(np.array(p), alpha)) for p in partitions)
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=6), st.floats(0.1, 10.0))
+    @settings(max_examples=50)
+    def test_invariant_to_order(self, counts, alpha):
+        a = log_eppf(np.array(counts), alpha)
+        b = log_eppf(np.array(sorted(counts)), alpha)
+        assert a == pytest.approx(b)
+
+    def test_matches_sequential_probability(self, rng):
+        """EPPF equals the product of sequential seating probabilities."""
+        alpha = 1.3
+        labels = sample_partition(12, alpha, rng)
+        # Sequential probability of this exact label sequence:
+        prob = 1.0
+        counts: list[float] = []
+        for l, lab in enumerate(labels):
+            if l == 0:
+                counts.append(1.0)
+                continue
+            denom = l + alpha
+            if lab < len(counts):
+                prob *= counts[lab] / denom
+                counts[lab] += 1
+            else:
+                prob *= alpha / denom
+                counts.append(1.0)
+        # EPPF is for the unordered partition; the sequential probability of
+        # one ordering whose labels appear in canonical order equals it.
+        assert np.log(prob) == pytest.approx(log_eppf(table_counts(labels), alpha))
+
+
+class TestGibbsWeightsAndUtilities:
+    def test_gibbs_weights_layout(self):
+        w = gibbs_weights(np.array([3.0, 1.0]), 0.5)
+        assert w.tolist() == [3.0, 1.0, 0.5]
+
+    def test_gibbs_weights_reject_negative(self):
+        with pytest.raises(ValueError):
+            gibbs_weights(np.array([-1.0]), 0.5)
+
+    def test_expected_tables_monotone_in_n(self):
+        assert expected_tables(100, 1.0) > expected_tables(10, 1.0)
+
+    def test_alpha_for_expected_tables_inverts(self):
+        n, target = 500, 12.0
+        alpha = alpha_for_expected_tables(n, target)
+        assert expected_tables(n, alpha) == pytest.approx(target, rel=1e-3)
+
+    def test_alpha_solver_bounds(self):
+        with pytest.raises(ValueError):
+            alpha_for_expected_tables(10, 100.0)
+
+    def test_relabel_canonical(self):
+        out = relabel(np.array([5, 5, 2, 5, 7]))
+        assert out.tolist() == [0, 0, 1, 0, 2]
+
+    def test_table_counts(self):
+        assert table_counts(np.array([0, 0, 1, 2, 2])).tolist() == [2, 1, 2]

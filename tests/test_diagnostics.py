@@ -1,0 +1,110 @@
+"""Unit tests for MCMC convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.inference.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_zscore,
+    split_rhat,
+    summarise_chain,
+)
+
+
+def ar1(n, rho, rng, start=0.0):
+    x = np.empty(n)
+    x[0] = start
+    noise = rng.standard_normal(n)
+    for i in range(1, n):
+        x[i] = rho * x[i - 1] + noise[i] * np.sqrt(1 - rho**2)
+    return x
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        x = rng.standard_normal(256)
+        assert autocorrelation(x)[0] == pytest.approx(1.0)
+
+    def test_iid_has_small_lag1(self, rng):
+        x = rng.standard_normal(20000)
+        assert abs(autocorrelation(x, max_lag=1)[1]) < 0.03
+
+    def test_ar1_lag1_matches_rho(self, rng):
+        x = ar1(40000, 0.7, rng)
+        assert autocorrelation(x, max_lag=1)[1] == pytest.approx(0.7, abs=0.03)
+
+    def test_constant_series_safe(self):
+        acf = autocorrelation(np.ones(50), max_lag=5)
+        assert acf[0] == 1.0 and np.all(acf[1:] == 0.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+
+class TestESS:
+    def test_iid_ess_near_n(self, rng):
+        x = rng.standard_normal(4000)
+        assert effective_sample_size(x) > 3000
+
+    def test_correlated_chain_shrinks(self, rng):
+        x = ar1(4000, 0.9, rng)
+        ess = effective_sample_size(x)
+        # Theory: ESS ≈ n(1-ρ)/(1+ρ) ≈ n/19.
+        assert ess < 1000
+
+    def test_never_exceeds_n(self, rng):
+        x = rng.standard_normal(100)
+        assert effective_sample_size(x) <= 100
+
+    def test_tiny_chain(self):
+        assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
+
+
+class TestGeweke:
+    def test_stationary_chain_small_z(self, rng):
+        x = rng.standard_normal(5000)
+        assert abs(geweke_zscore(x)) < 3.0
+
+    def test_trending_chain_flagged(self, rng):
+        x = np.linspace(0, 5, 2000) + 0.1 * rng.standard_normal(2000)
+        assert abs(geweke_zscore(x)) > 5.0
+
+    def test_short_chain_raises(self):
+        with pytest.raises(ValueError):
+            geweke_zscore(np.ones(10))
+
+    def test_bad_windows_raise(self, rng):
+        with pytest.raises(ValueError):
+            geweke_zscore(rng.standard_normal(100), first=0.7, last=0.7)
+
+
+class TestSplitRhat:
+    def test_well_mixed_near_one(self, rng):
+        chains = rng.standard_normal((4, 2000))
+        assert split_rhat(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_chains_flagged(self, rng):
+        a = rng.standard_normal((1, 1000))
+        b = rng.standard_normal((1, 1000)) + 10.0
+        assert split_rhat(np.vstack([a, b])) > 2.0
+
+    def test_single_chain_with_trend_flagged(self, rng):
+        x = np.linspace(0, 10, 1000) + 0.01 * rng.standard_normal(1000)
+        assert split_rhat(x) > 1.5
+
+    def test_constant_chain_is_one(self):
+        assert split_rhat(np.ones((2, 100))) == 1.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            split_rhat(np.ones((2, 3)))
+
+
+class TestSummarise:
+    def test_keys_and_values(self, rng):
+        x = rng.standard_normal(500)
+        s = summarise_chain(x)
+        assert set(s) == {"mean", "sd", "ess", "q05", "q95"}
+        assert s["q05"] < s["mean"] < s["q95"]

@@ -1,0 +1,96 @@
+"""Integration tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.survival_models import CoxPHModel, TimeRateModel
+from repro.eval.experiment import (
+    ComparisonResult,
+    evaluate_models,
+    prepare_region_data,
+    run_comparison,
+)
+from repro.network.pipe import PipeClass
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    data = prepare_region_data("A", scale=0.05, seed=9, pipe_class=None)
+    models = [CoxPHModel(), TimeRateModel(kind="exponential")]
+    return evaluate_models(data, models, region="A"), data
+
+
+class TestEvaluateModels:
+    def test_all_models_evaluated(self, small_run):
+        run, _ = small_run
+        assert set(run.evaluations) == {"Cox", "TimeExp"}
+
+    def test_metrics_in_range(self, small_run):
+        run, _ = small_run
+        for ev in run.evaluations.values():
+            assert 0.0 <= ev.auc <= 1.0
+            assert ev.auc_budget_permyriad >= 0.0
+
+    def test_scores_aligned_with_pipes(self, small_run):
+        run, data = small_run
+        for ev in run.evaluations.values():
+            assert ev.scores.shape == (data.n_pipes,)
+
+    def test_curve_reaches_one(self, small_run):
+        run, _ = small_run
+        ev = run.evaluations["Cox"]
+        curve = ev.curve(run.labels)
+        assert curve.detected[-1] == pytest.approx(1.0)
+
+    def test_no_test_failures_rejected(self, small_run):
+        from dataclasses import replace
+
+        _, data = small_run
+        dead = replace(data, pipe_fail_test=np.zeros(data.n_pipes))
+        with pytest.raises(ValueError):
+            evaluate_models(dead, [CoxPHModel()], region="X")
+
+
+class TestPrepareRegionData:
+    def test_cwm_subset(self):
+        all_pipes = prepare_region_data("A", scale=0.05, seed=9, pipe_class=None)
+        cwm = prepare_region_data("A", scale=0.05, seed=9, pipe_class=PipeClass.CWM)
+        assert cwm.n_pipes < all_pipes.n_pipes
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        factory = lambda s: [CoxPHModel(), TimeRateModel(kind="exponential")]
+        return run_comparison(
+            regions=("A",),
+            n_repeats=3,
+            scale=0.05,
+            models_factory=factory,
+        )
+
+    def test_structure(self, comparison):
+        assert comparison.regions == ["A"]
+        assert len(comparison.runs["A"]) == 3
+        assert set(comparison.model_names()) == {"Cox", "TimeExp"}
+
+    def test_samples_shape(self, comparison):
+        assert comparison.auc_samples("A", "Cox").shape == (3,)
+        assert comparison.budget_samples("A", "TimeExp").shape == (3,)
+
+    def test_means_bounded(self, comparison):
+        assert 0.0 <= comparison.mean_auc("A", "Cox") <= 1.0
+
+    def test_t_test_runs(self, comparison):
+        result = comparison.t_test("A", "Cox", "TimeExp")
+        assert np.isfinite(result.statistic) or result.p_value in (0.0, 1.0)
+        result_b = comparison.t_test("A", "Cox", "TimeExp", metric="budget")
+        assert 0.0 <= result_b.p_value <= 1.0
+
+    def test_repeats_differ(self, comparison):
+        aucs = comparison.auc_samples("A", "Cox")
+        assert len(set(np.round(aucs, 6))) > 1  # different seeds, different data
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            run_comparison(n_repeats=0)

@@ -1,0 +1,136 @@
+"""Unit tests for the failure simulator and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_environment
+from repro.data.failures import (
+    _calibrate_multiplier,
+    build_ground_truth,
+    simulate_failures,
+)
+from repro.data.generator import generate_network
+from repro.data.regions import OBSERVATION_YEARS, get_region
+from repro.network.pipe import PipeClass
+
+
+@pytest.fixture(scope="module")
+def sim():
+    spec = get_region("A", scale=0.05)
+    rng = np.random.default_rng(3)
+    net = generate_network(spec, rng)
+    env = build_environment(net, spec, rng)
+    truth = build_ground_truth(net, env.soil, env.traffic, spec, rng)
+    records = simulate_failures(net, truth, rng)
+    return spec, net, truth, records
+
+
+class TestCalibrateMultiplier:
+    def test_hits_target(self):
+        h = np.full(1000, 0.01)
+        mult = _calibrate_multiplier(h, 50.0)
+        achieved = np.sum(1.0 - np.exp(-mult * h))
+        assert achieved == pytest.approx(50.0, rel=1e-4)
+
+    def test_zero_target(self):
+        assert _calibrate_multiplier(np.ones(10), 0.0) == 0.0
+
+    def test_nonlinear_saturation_handled(self):
+        # Target close to the number of cells forces large multipliers.
+        h = np.full(100, 1.0)
+        mult = _calibrate_multiplier(h, 99.0)
+        assert np.sum(1.0 - np.exp(-mult * h)) == pytest.approx(99.0, rel=1e-3)
+
+
+class TestGroundTruth:
+    def test_shapes(self, sim):
+        _, net, truth, _ = sim
+        n_seg = net.n_segments
+        assert truth.hazard.shape == (n_seg, len(OBSERVATION_YEARS))
+        assert truth.failure_probability.shape == truth.hazard.shape
+        assert len(truth.segment_ids) == n_seg
+
+    def test_probabilities_valid(self, sim):
+        _, _, truth, _ = sim
+        p = truth.failure_probability
+        assert np.all((p >= 0) & (p < 1))
+
+    def test_expected_totals_match_spec(self, sim):
+        spec, net, truth, _ = sim
+        cwm_ids = {p.pipe_id for p in net.pipes(PipeClass.CWM)}
+        is_cwm = np.asarray([pid in cwm_ids for pid in truth.pipe_ids])
+        expected_cwm = truth.failure_probability[is_cwm].sum()
+        expected_rwm = truth.failure_probability[~is_cwm].sum()
+        assert expected_cwm == pytest.approx(spec.target_failures_cwm, rel=0.02)
+        assert expected_rwm == pytest.approx(spec.target_failures_rwm, rel=0.02)
+
+    def test_hazard_grows_with_age(self, sim):
+        """Network-wide hazard in 2009 exceeds 1998 (ageing stock)."""
+        _, _, truth, _ = sim
+        assert truth.hazard[:, -1].sum() > truth.hazard[:, 0].sum()
+
+    def test_frailty_positive_with_heavy_tail(self, sim):
+        _, _, truth, _ = sim
+        assert np.all(truth.frailty > 0)
+        assert truth.frailty.max() / np.median(truth.frailty) > 3.0
+
+    def test_frailty_has_segment_and_pipe_components(self, sim):
+        """Segments of one pipe differ (segment frailty) but share a pipe
+        component: within-pipe frailties correlate less than independent."""
+        _, _, truth, _ = sim
+        by_pipe: dict[str, list[float]] = {}
+        for pid, fr in zip(truth.pipe_ids, truth.frailty):
+            by_pipe.setdefault(pid, []).append(float(fr))
+        multi = [v for v in by_pipe.values() if len(v) >= 2]
+        # Within a pipe, segment frailties are not identical...
+        assert any(len(set(v)) > 1 for v in multi)
+        # ...but the shared pipe component induces positive correlation:
+        # pipe means vary more than they would under pure independence.
+        import numpy as np
+
+        firsts = np.array([v[0] for v in multi])
+        seconds = np.array([v[1] for v in multi])
+        assert np.corrcoef(np.log(firsts), np.log(seconds))[0, 1] > 0.05
+
+
+class TestSimulatedRecords:
+    def test_total_count_near_target(self, sim):
+        spec, _, _, records = sim
+        # Binomial noise around the calibrated expectation.
+        sigma = np.sqrt(spec.target_failures_all)
+        assert abs(len(records) - spec.target_failures_all) < 5 * sigma
+
+    def test_records_sorted_and_valid(self, sim):
+        _, net, _, records = sim
+        assert records == sorted(records)
+        for rec in records[:100]:
+            seg = net.segment(rec.segment_id)
+            assert seg.pipe_id == rec.pipe_id
+            assert rec.location == seg.midpoint
+            assert rec.year in OBSERVATION_YEARS
+
+    def test_at_most_one_failure_per_segment_year(self, sim):
+        _, _, _, records = sim
+        keys = [(r.segment_id, r.year) for r in records]
+        assert len(keys) == len(set(keys))
+
+    def test_failures_cluster_on_high_hazard_segments(self, sim):
+        """Failed segments have systematically higher latent hazard."""
+        _, _, truth, records = sim
+        index = {sid: i for i, sid in enumerate(truth.segment_ids)}
+        failed_rows = {index[r.segment_id] for r in records}
+        mean_h = truth.hazard.mean(axis=1)
+        failed_mask = np.zeros(len(mean_h), dtype=bool)
+        failed_mask[list(failed_rows)] = True
+        assert mean_h[failed_mask].mean() > 2.0 * mean_h[~failed_mask].mean()
+
+    def test_determinism(self):
+        spec = get_region("B", scale=0.03)
+        outs = []
+        for _ in range(2):
+            rng = np.random.default_rng(99)
+            net = generate_network(spec, rng)
+            env = build_environment(net, spec, rng)
+            truth = build_ground_truth(net, env.soil, env.traffic, spec, rng)
+            outs.append(simulate_failures(net, truth, rng))
+        assert outs[0] == outs[1]

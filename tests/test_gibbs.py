@@ -1,0 +1,112 @@
+"""Unit tests for the Metropolis-within-Gibbs driver."""
+
+import numpy as np
+import pytest
+
+from repro.inference.gibbs import GibbsSampler
+
+
+def make_sampler(rng, trace_fn=None):
+    return GibbsSampler(state={"x": 0.0, "y": 0.0}, rng=rng, trace_fn=trace_fn)
+
+
+class TestRegistration:
+    def test_duplicate_block_rejected(self, rng):
+        s = make_sampler(rng)
+        s.add_block("a", lambda st, r: {})
+        with pytest.raises(ValueError):
+            s.add_block("a", lambda st, r: {})
+
+    def test_sweep_without_blocks_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            make_sampler(rng).sweep()
+
+    def test_chaining(self, rng):
+        s = make_sampler(rng).add_block("a", lambda st, r: {}).add_block("b", lambda st, r: {})
+        assert len(s._blocks) == 2
+
+
+class TestExecution:
+    def test_blocks_run_in_order(self, rng):
+        calls = []
+        s = make_sampler(rng)
+        s.add_block("first", lambda st, r: calls.append("first") or {})
+        s.add_block("second", lambda st, r: calls.append("second") or {})
+        s.run(3)
+        assert calls == ["first", "second"] * 3
+
+    def test_state_mutation_visible_across_blocks(self, rng):
+        s = make_sampler(rng)
+
+        def set_x(st, r):
+            st["x"] = 42.0
+            return {}
+
+        seen = []
+        s.add_block("set", set_x)
+        s.add_block("read", lambda st, r: seen.append(st["x"]) or {})
+        s.run(1)
+        assert seen == [42.0]
+
+    def test_diagnostics_aggregated(self, rng):
+        s = make_sampler(rng)
+        s.add_block("mh", lambda st, r: {"accept": 1.0})
+        s.run(4)
+        assert s.diagnostic_mean("mh.accept") == 1.0
+
+    def test_missing_diagnostic_raises(self, rng):
+        s = make_sampler(rng)
+        s.add_block("a", lambda st, r: {})
+        s.run(1)
+        with pytest.raises(KeyError):
+            s.diagnostic_mean("nope")
+
+    def test_trace_recorded(self, rng):
+        s = GibbsSampler(state={"x": 0.0}, rng=rng, trace_fn=lambda st: {"x": st["x"]})
+
+        def step(st, r):
+            st["x"] += 1.0
+            return {}
+
+        s.add_block("inc", step)
+        trace = s.run(5)
+        assert trace.get("x").tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_callback_fires(self, rng):
+        s = make_sampler(rng)
+        s.add_block("a", lambda st, r: {})
+        ticks = []
+        s.run(3, callback=lambda i, st: ticks.append(i))
+        assert ticks == [0, 1, 2]
+
+    def test_negative_sweeps_rejected(self, rng):
+        s = make_sampler(rng)
+        s.add_block("a", lambda st, r: {})
+        with pytest.raises(ValueError):
+            s.run(-1)
+
+
+class TestStatisticalCorrectness:
+    def test_bivariate_normal_gibbs(self, rng):
+        """Classic two-block Gibbs on a correlated bivariate normal."""
+        corr = 0.8
+
+        def update_x(st, r):
+            st["x"] = corr * st["y"] + np.sqrt(1 - corr**2) * r.standard_normal()
+            return {}
+
+        def update_y(st, r):
+            st["y"] = corr * st["x"] + np.sqrt(1 - corr**2) * r.standard_normal()
+            return {}
+
+        s = GibbsSampler(
+            state={"x": 0.0, "y": 0.0},
+            rng=rng,
+            trace_fn=lambda st: {"x": st["x"], "y": st["y"]},
+        )
+        s.add_block("x", update_x).add_block("y", update_y)
+        trace = s.run(8000)
+        xs = trace.get("x", burn_in=1000)
+        ys = trace.get("y", burn_in=1000)
+        assert xs.mean() == pytest.approx(0.0, abs=0.08)
+        assert np.corrcoef(xs, ys)[0, 1] == pytest.approx(corr, abs=0.05)

@@ -1,0 +1,58 @@
+"""Unit tests for kernel Gram matrices."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+
+
+class TestLinearKernel:
+    def test_matches_dot(self, rng):
+        X = rng.standard_normal((5, 3))
+        assert np.allclose(linear_kernel(X), X @ X.T)
+
+    def test_rectangular(self, rng):
+        X = rng.standard_normal((4, 3))
+        Y = rng.standard_normal((2, 3))
+        assert linear_kernel(X, Y).shape == (4, 2)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, rng):
+        X = rng.standard_normal((6, 4))
+        assert np.allclose(np.diag(rbf_kernel(X, gamma=0.5)), 1.0)
+
+    def test_symmetry_and_psd(self, rng):
+        X = rng.standard_normal((10, 3))
+        K = rbf_kernel(X, gamma=1.0)
+        assert np.allclose(K, K.T)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-9
+
+    def test_distance_decay(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        K = rbf_kernel(X, gamma=1.0)
+        assert K[0, 1] > K[0, 2]
+
+    def test_explicit_value(self):
+        K = rbf_kernel(np.array([[0.0]]), np.array([[2.0]]), gamma=0.25)
+        assert K[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.ones((2, 1)), gamma=0.0)
+
+
+class TestPolynomialKernel:
+    def test_degree_one_is_affine_linear(self, rng):
+        X = rng.standard_normal((4, 2))
+        assert np.allclose(polynomial_kernel(X, degree=1, coef0=0.0), X @ X.T)
+
+    def test_explicit_quadratic(self):
+        X = np.array([[1.0, 1.0]])
+        K = polynomial_kernel(X, degree=2, coef0=1.0)
+        assert K[0, 0] == pytest.approx(9.0)  # (2 + 1)^2
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(np.ones((2, 1)), degree=0)

@@ -1,0 +1,139 @@
+"""Unit tests for Kaplan-Meier, Nelson-Aalen and the log-rank test."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.survival.nonparametric import (
+    chi2_sf,
+    kaplan_meier,
+    logrank_test,
+    nelson_aalen,
+)
+
+
+class TestKaplanMeier:
+    def test_textbook_example(self):
+        """Classic small example computed by hand."""
+        t = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        e = np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        km = kaplan_meier(t, e)
+        # t=1: 5 at risk, 1 death -> 4/5; t=3: 3 at risk -> *2/3; t=4: 2 at risk -> *1/2
+        assert km.at(1.0)[0] == pytest.approx(0.8)
+        assert km.at(3.5)[0] == pytest.approx(0.8 * 2 / 3)
+        assert km.at(10.0)[0] == pytest.approx(0.8 * 2 / 3 * 0.5)
+
+    def test_before_first_event_is_one(self):
+        km = kaplan_meier(np.array([5.0, 6.0]), np.array([1.0, 1.0]))
+        assert km.at(1.0)[0] == 1.0
+
+    def test_monotone_nonincreasing(self, rng):
+        t = rng.exponential(10.0, 200)
+        e = (rng.random(200) < 0.7).astype(float)
+        km = kaplan_meier(t, e)
+        assert np.all(np.diff(km.values) <= 1e-12)
+
+    def test_no_censoring_matches_empirical(self, rng):
+        t = rng.exponential(5.0, 500)
+        km = kaplan_meier(t, np.ones(500))
+        grid = np.quantile(t, [0.25, 0.5, 0.75])
+        empirical = [(t > g).mean() for g in grid]
+        assert np.allclose(km.at(grid), empirical, atol=0.01)
+
+    def test_recovers_exponential_survival(self, rng):
+        t = rng.exponential(10.0, 4000)
+        cens = np.minimum(t, 25.0)
+        e = (t <= 25.0).astype(float)
+        km = kaplan_meier(cens, e)
+        assert km.at(10.0)[0] == pytest.approx(np.exp(-1.0), abs=0.03)
+
+    def test_left_truncation_changes_risk_sets(self, rng):
+        t = rng.exponential(10.0, 1000)
+        entry = np.full(1000, 2.0)
+        keep = t > 2.0
+        km_trunc = kaplan_meier(t[keep], np.ones(keep.sum()), entry_time=entry[keep])
+        # Conditional survival S(t)/S(2) for exponential = exp(-(t-2)/10).
+        assert km_trunc.at(12.0)[0] == pytest.approx(np.exp(-1.0), abs=0.05)
+
+    def test_empty_events(self):
+        km = kaplan_meier(np.array([1.0, 2.0]), np.zeros(2))
+        assert km.times.size == 0
+        assert km.at(5.0)[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([1.0]), np.array([2.0]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([1.0]), np.array([1.0]), entry_time=np.array([2.0]))
+
+
+class TestNelsonAalen:
+    def test_matches_minus_log_km_approximately(self, rng):
+        t = rng.exponential(8.0, 2000)
+        e = np.ones(2000)
+        na = nelson_aalen(t, e)
+        km = kaplan_meier(t, e)
+        grid = np.quantile(t, [0.3, 0.6])
+        assert np.allclose(na.at(grid), -np.log(km.at(grid)), rtol=0.05)
+
+    def test_monotone_nondecreasing(self, rng):
+        t = rng.exponential(10.0, 300)
+        e = (rng.random(300) < 0.5).astype(float)
+        na = nelson_aalen(t, e)
+        assert np.all(np.diff(na.values) >= -1e-12)
+
+    def test_linear_for_exponential(self, rng):
+        """Exponential lifetimes have H(t) = t / mean."""
+        t = rng.exponential(10.0, 5000)
+        na = nelson_aalen(np.minimum(t, 30.0), (t <= 30.0).astype(float))
+        assert na.at(10.0)[0] == pytest.approx(1.0, abs=0.06)
+        assert na.at(20.0)[0] == pytest.approx(2.0, abs=0.15)
+
+
+class TestChi2SF:
+    @pytest.mark.parametrize("x", [0.5, 1.0, 3.84, 10.0])
+    @pytest.mark.parametrize("df", [1, 2, 5])
+    def test_matches_scipy(self, x, df):
+        assert chi2_sf(x, df) == pytest.approx(stats.chi2.sf(x, df), rel=1e-9)
+
+    def test_edge_cases(self):
+        assert chi2_sf(0.0, 1) == 1.0
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+
+
+class TestLogRank:
+    def test_identical_groups_not_significant(self, rng):
+        t = rng.exponential(10.0, 300)
+        e = np.ones(300)
+        result = logrank_test(t[:150], e[:150], t[150:], e[150:])
+        assert result.p_value > 0.01
+
+    def test_different_hazards_detected(self, rng):
+        a = rng.exponential(5.0, 300)
+        b = rng.exponential(15.0, 300)
+        result = logrank_test(a, np.ones(300), b, np.ones(300))
+        assert result.p_value < 0.001
+        assert result.statistic > 10
+
+    def test_observed_totals(self, rng):
+        a = rng.exponential(5.0, 50)
+        b = rng.exponential(5.0, 60)
+        result = logrank_test(a, np.ones(50), b, np.ones(60))
+        assert result.observed == (50.0, 60.0)
+
+    def test_no_events_raises(self):
+        with pytest.raises(ValueError):
+            logrank_test(np.array([1.0]), np.zeros(1), np.array([2.0]), np.zeros(1))
+
+    def test_matches_scipy_reference(self, rng):
+        """Cross-check the statistic against scipy's CompareMeans-free path
+        by simulating many nulls: the statistic should be ~chi2(1)."""
+        stats_null = []
+        for i in range(200):
+            r = np.random.default_rng(i)
+            t = r.exponential(10.0, 80)
+            res = logrank_test(t[:40], np.ones(40), t[40:], np.ones(40))
+            stats_null.append(res.statistic)
+        # Mean of chi2(1) is 1.
+        assert np.mean(stats_null) == pytest.approx(1.0, abs=0.35)

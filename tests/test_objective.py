@@ -1,0 +1,117 @@
+"""Unit and property tests for the AUC ranking objective (Eq. 18.10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking.objective import (
+    empirical_auc,
+    sigmoid_auc,
+    top_fraction_hit_rate,
+)
+
+
+def brute_auc(scores, labels):
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+    return wins / (len(pos) * len(neg))
+
+
+class TestEmpiricalAUC:
+    def test_perfect_ranking(self):
+        assert empirical_auc(np.array([3.0, 2.0, 1.0]), np.array([1, 1, 0])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert empirical_auc(np.array([1.0, 2.0, 3.0]), np.array([1, 0, 0])) == 0.0
+
+    def test_random_ties_half(self):
+        assert empirical_auc(np.zeros(10), np.array([1] * 5 + [0] * 5)) == 0.5
+
+    def test_matches_pairwise_definition(self, rng):
+        scores = rng.standard_normal(60)
+        labels = (rng.random(60) < 0.3).astype(float)
+        if labels.sum() in (0, 60):
+            labels[0], labels[1] = 1, 0
+        assert empirical_auc(scores, labels) == pytest.approx(brute_auc(scores, labels))
+
+    def test_matches_pairwise_with_ties(self, rng):
+        scores = rng.integers(0, 4, 50).astype(float)  # heavy ties
+        labels = (rng.random(50) < 0.4).astype(float)
+        labels[0], labels[1] = 1, 0
+        assert empirical_auc(scores, labels) == pytest.approx(brute_auc(scores, labels))
+
+    def test_degenerate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_auc(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            empirical_auc(np.ones(3), np.zeros(3))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_auc(np.ones(3), np.ones(2))
+
+    @given(st.integers(2, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_transform_invariance(self, n, seed):
+        """AUC depends only on the ranking: invariant to exp()."""
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal(n)
+        labels = (rng.random(n) < 0.5).astype(float)
+        if labels.sum() in (0, n):
+            labels[0] = 1.0 - labels[0]
+        a = empirical_auc(scores, labels)
+        b = empirical_auc(np.exp(scores / 3.0), labels)
+        assert a == pytest.approx(b)
+
+    @given(st.integers(2, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_label_flip_symmetry(self, n, seed):
+        """AUC(scores, y) + AUC(scores, 1-y) = 1 for tie-free scores."""
+        rng = np.random.default_rng(seed)
+        scores = rng.permutation(n).astype(float)  # distinct
+        labels = (rng.random(n) < 0.5).astype(float)
+        if labels.sum() in (0, n):
+            labels[0] = 1.0 - labels[0]
+        assert empirical_auc(scores, labels) + empirical_auc(scores, 1 - labels) == pytest.approx(1.0)
+
+
+class TestSigmoidAUC:
+    def test_approaches_exact_with_sharpness(self, rng):
+        scores = rng.standard_normal(80)
+        labels = (rng.random(80) < 0.3).astype(float)
+        labels[:2] = [1, 0]
+        exact = empirical_auc(scores, labels)
+        smooth = sigmoid_auc(scores, labels, sharpness=500.0)
+        assert smooth == pytest.approx(exact, abs=0.02)
+
+    def test_bounded(self, rng):
+        scores = rng.standard_normal(30)
+        labels = np.array([1] * 10 + [0] * 20, dtype=float)
+        assert 0.0 <= sigmoid_auc(scores, labels) <= 1.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            sigmoid_auc(np.ones(3), np.ones(3))
+
+
+class TestTopFractionHitRate:
+    def test_perfect_concentration(self):
+        scores = np.array([10.0, 9.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        labels = np.array([1, 1, 0, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        assert top_fraction_hit_rate(scores, labels, 0.2) == 1.0
+
+    def test_zero_when_positives_at_bottom(self):
+        scores = np.arange(10.0)
+        labels = np.zeros(10)
+        labels[:2] = 1  # lowest scores
+        assert top_fraction_hit_rate(scores, labels, 0.2) == 0.0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            top_fraction_hit_rate(np.ones(3), np.array([1.0, 0, 0]), 0.0)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            top_fraction_hit_rate(np.ones(3), np.zeros(3), 0.5)

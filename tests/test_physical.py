@@ -1,0 +1,111 @@
+"""Unit tests for the physical (domain-knowledge-driven) models."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import FailureModel
+from repro.core.ranking.objective import empirical_auc
+from repro.network.pipe import Material
+from repro.physical.corrosion import (
+    TwoPhasePitModel,
+    degradation_ratio,
+    wall_thickness_mm,
+)
+from repro.physical.model import PhysicalConditionModel
+
+
+class TestPitModel:
+    def test_two_phases(self):
+        pit = TwoPhasePitModel(rapid_rate_mm_per_year=0.3, slow_rate_mm_per_year=0.02, transition_years=10.0)
+        # Inside the rapid phase: linear at the rapid rate.
+        assert pit.pit_depth_mm(np.array([5.0]))[0] == pytest.approx(1.5)
+        # After transition: rapid contribution saturates.
+        assert pit.pit_depth_mm(np.array([20.0]))[0] == pytest.approx(3.0 + 0.2)
+
+    def test_monotone_in_age(self):
+        pit = TwoPhasePitModel()
+        ages = np.linspace(0, 100, 50)
+        depths = pit.pit_depth_mm(ages)
+        assert np.all(np.diff(depths) >= 0)
+
+    def test_corrosivity_scales(self):
+        pit = TwoPhasePitModel()
+        mild = pit.pit_depth_mm(np.array([30.0]), 0.5)
+        severe = pit.pit_depth_mm(np.array([30.0]), 3.0)
+        assert severe[0] == pytest.approx(6.0 * mild[0])
+
+    def test_negative_age_clipped(self):
+        assert TwoPhasePitModel().pit_depth_mm(np.array([-5.0]))[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoPhasePitModel(rapid_rate_mm_per_year=-1.0)
+        with pytest.raises(ValueError):
+            TwoPhasePitModel(transition_years=0.0)
+
+
+class TestWallAndRatio:
+    def test_wall_grows_with_diameter(self):
+        small = wall_thickness_mm(Material.CICL, 100.0)
+        large = wall_thickness_mm(Material.CICL, 750.0)
+        assert large > small
+
+    def test_wall_positive_all_materials(self):
+        for m in Material:
+            assert wall_thickness_mm(m, 300.0) > 0
+
+    def test_wall_rejects_bad_diameter(self):
+        with pytest.raises(ValueError):
+            wall_thickness_mm(Material.CICL, 0.0)
+
+    def test_degradation_ratio_clipped(self):
+        out = degradation_ratio(np.array([5.0, 50.0]), np.array([10.0, 10.0]))
+        assert out.tolist() == [0.5, 1.0]
+
+    def test_degradation_rejects_bad_wall(self):
+        with pytest.raises(ValueError):
+            degradation_ratio(np.array([1.0]), np.array([0.0]))
+
+
+class TestPhysicalConditionModel:
+    def test_is_a_failure_model(self):
+        assert issubclass(PhysicalConditionModel, FailureModel)
+
+    def test_fit_is_noop_and_chainable(self, small_model_data):
+        model = PhysicalConditionModel()
+        assert model.fit(small_model_data) is model
+
+    def test_scores_shape_and_positive(self, small_model_data):
+        scores = PhysicalConditionModel().fit_predict(small_model_data)
+        assert scores.shape == (small_model_data.n_pipes,)
+        assert np.all(scores >= 0)
+
+    def test_no_training_identical_scores_for_any_labels(self, small_model_data):
+        """The defining property: the model never looks at failure data."""
+        from dataclasses import replace
+
+        md = small_model_data
+        scrambled = replace(
+            md,
+            pipe_fail_train=1 - md.pipe_fail_train,
+            pipe_fail_test=1 - md.pipe_fail_test,
+        )
+        a = PhysicalConditionModel().fit_predict(md)
+        b = PhysicalConditionModel().fit_predict(scrambled)
+        assert np.array_equal(a, b)
+
+    def test_old_ferrous_in_corrosive_soil_scores_high(self, small_model_data):
+        md = small_model_data
+        scores = PhysicalConditionModel().fit_predict(md)
+        ages = md.pipe_ages(md.test_year)
+        ferrous = np.asarray([m in ("CI", "CICL", "DICL", "STEEL") for m in md.pipe_material])
+        old_ferrous = ferrous & (ages > np.median(ages))
+        young_plastic = ~ferrous & (ages <= np.median(ages))
+        if old_ferrous.any() and young_plastic.any():
+            assert scores[old_ferrous].mean() > scores[young_plastic].mean()
+
+    def test_beats_chance_but_not_required_to_beat_learned(self, small_model_data):
+        md = small_model_data
+        scores = PhysicalConditionModel().fit_predict(md)
+        auc = empirical_auc(scores, md.pipe_fail_test)
+        assert auc > 0.45  # structured, but it only sees a few aspects

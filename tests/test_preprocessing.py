@@ -1,0 +1,80 @@
+"""Unit tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler, add_intercept
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_transform_uses_fit_stats(self):
+        s = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert s.transform(np.array([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_column_mismatch_raises(self):
+        s = StandardScaler().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            s.transform(np.ones((3, 3)))
+
+    def test_1d_promoted(self):
+        Z = StandardScaler().fit_transform(np.array([1.0, 2.0, 3.0]))
+        assert Z.shape == (3, 1)
+
+
+class TestOneHotEncoder:
+    def test_round_trip(self):
+        enc = OneHotEncoder().fit(["b", "a", "b"])
+        out = enc.transform(["a", "b"])
+        assert enc.categories_ == ["a", "b"]
+        assert out.tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_unseen_category_encodes_to_zeros(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        assert enc.transform(["c"]).tolist() == [[0.0, 0.0]]
+
+    def test_deterministic_order(self):
+        a = OneHotEncoder().fit(["z", "a", "m"]).categories_
+        b = OneHotEncoder().fit(["m", "z", "a"]).categories_
+        assert a == b == ["a", "m", "z"]
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(["PVC", "CICL"])
+        assert enc.feature_names("material") == ["material=CICL", "material=PVC"]
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(["a"])
+
+    def test_rows_sum_to_one_for_known(self):
+        enc = OneHotEncoder().fit(["a", "b", "c"])
+        out = enc.transform(["a", "c", "b", "a"])
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+
+class TestAddIntercept:
+    def test_prepends_ones(self):
+        X = np.arange(6.0).reshape(3, 2)
+        out = add_intercept(X)
+        assert out.shape == (3, 3)
+        assert np.allclose(out[:, 0], 1.0)
+        assert np.allclose(out[:, 1:], X)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            add_intercept(np.ones((2, 2, 2)))

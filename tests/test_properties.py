@@ -1,0 +1,112 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking.objective import empirical_auc
+from repro.eval.metrics import detection_curve
+
+
+class TestSurvivalComposition:
+    """π = 1 − Π(1 − ρ) over a pipe's segments."""
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=10)
+    )
+    @settings(max_examples=50)
+    def test_union_bound(self, probs):
+        """Series-system failure probability never exceeds the sum."""
+        from dataclasses import dataclass
+
+        rho = np.asarray(probs)
+        pi = 1.0 - np.prod(1.0 - rho)
+        assert pi <= rho.sum() + 1e-9
+        assert pi >= rho.max() - 1e-9  # at least the worst segment
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.3), min_size=2, max_size=8),
+        st.integers(0, 7),
+        st.floats(min_value=0.01, max_value=0.3),
+    )
+    @settings(max_examples=50)
+    def test_monotone_in_each_segment(self, probs, idx, bump):
+        rho = np.asarray(probs)
+        idx = idx % len(rho)
+        pi_before = 1.0 - np.prod(1.0 - rho)
+        rho2 = rho.copy()
+        rho2[idx] = min(rho2[idx] + bump, 1.0 - 1e-9)
+        pi_after = 1.0 - np.prod(1.0 - rho2)
+        assert pi_after >= pi_before - 1e-12
+
+    def test_model_data_composition_matches_direct(self, small_model_data):
+        md = small_model_data
+        rng = np.random.default_rng(0)
+        rho = rng.uniform(0, 0.1, md.n_segments)
+        pi = md.survival_pipe_probability(rho)
+        # Direct per-pipe computation.
+        for i in rng.choice(md.n_pipes, size=20, replace=False):
+            members = rho[md.seg_pipe_idx == i]
+            assert pi[i] == pytest.approx(1.0 - np.prod(1.0 - members), rel=1e-9)
+
+
+class TestRankingInvariances:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_invariant_to_joint_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        scores = rng.standard_normal(n)
+        labels = (rng.random(n) < 0.4).astype(float)
+        if labels.sum() in (0, n):
+            labels[0] = 1.0 - labels[0]
+        perm = rng.permutation(n)
+        assert empirical_auc(scores, labels) == pytest.approx(
+            empirical_auc(scores[perm], labels[perm])
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_detection_curve_invariant_to_joint_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        scores = rng.standard_normal(n)  # distinct w.p. 1 → no tie effects
+        labels = (rng.random(n) < 0.3).astype(float)
+        if labels.sum() == 0:
+            labels[0] = 1.0
+        perm = rng.permutation(n)
+        a = detection_curve(scores, labels)
+        b = detection_curve(scores[perm], labels[perm])
+        assert np.allclose(a.detected, b.detected)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_detection_area_matches_auc_for_rare_positives(self, seed):
+        """For very low prevalence, detection-curve area ≈ ROC AUC."""
+        rng = np.random.default_rng(seed)
+        n = 3000
+        scores = rng.standard_normal(n)
+        labels = np.zeros(n)
+        labels[rng.choice(n, size=8, replace=False)] = 1.0
+        area = detection_curve(scores, labels).area(1.0)
+        auc = empirical_auc(scores, labels)
+        assert area == pytest.approx(auc, abs=0.01)
+
+
+class TestCalibrationInvariant:
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(50, 500),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_calibrated_expectation_hits_target(self, target, n, seed):
+        from repro.data.failures import _calibrate_multiplier
+
+        rng = np.random.default_rng(seed)
+        hazard = rng.lognormal(-2.0, 1.0, size=n * 12)
+        target = min(target, 0.95 * hazard.size)  # feasible targets only
+        mult = _calibrate_multiplier(hazard, target)
+        achieved = float(np.sum(1.0 - np.exp(-mult * hazard)))
+        assert achieved == pytest.approx(target, rel=1e-3)

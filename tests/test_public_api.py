@@ -1,0 +1,55 @@
+"""The public API surface: everything advertised must import and be usable."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_exports_resolve(self, name):
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_models_share_interface(self):
+        from repro.core.base import FailureModel
+
+        for cls in (
+            repro.AUCRankingModel,
+            repro.CoxPHModel,
+            repro.DPMHBPModel,
+            repro.HBPModel,
+            repro.HBPBestModel,
+            repro.SVMRankingModel,
+            repro.WeibullModel,
+        ):
+            assert issubclass(cls, FailureModel)
+            assert callable(getattr(cls, "fit"))
+            assert callable(getattr(cls, "predict_pipe_risk"))
+
+    def test_public_functions_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_subpackages_importable(self):
+        import repro.bayes
+        import repro.core
+        import repro.data
+        import repro.eval
+        import repro.features
+        import repro.gis
+        import repro.inference
+        import repro.ml
+        import repro.network
+        import repro.survival
+
+    def test_default_models_names_match_paper(self):
+        names = [m.name for m in repro.default_models(fast=True)]
+        for paper_model in ("DPMHBP", "HBP", "Cox", "SVM", "Weibull"):
+            assert paper_model in names

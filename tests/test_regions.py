@@ -1,0 +1,108 @@
+"""Unit tests for region specifications and scaling."""
+
+import pytest
+
+from repro.data.regions import (
+    OBSERVATION_YEARS,
+    REGION_A,
+    REGION_B,
+    REGION_C,
+    TEST_YEAR,
+    TRAIN_YEARS,
+    get_region,
+)
+
+
+class TestPaperConstants:
+    """The specs must match Table 18.1 exactly at scale 1."""
+
+    def test_region_a(self):
+        assert REGION_A.n_pipes == 15_189
+        assert REGION_A.n_cwm == 3_793
+        assert REGION_A.target_failures_all == 4_093
+        assert REGION_A.target_failures_cwm == 520
+        assert (REGION_A.laid_year_lo, REGION_A.laid_year_hi) == (1930, 1997)
+
+    def test_region_b(self):
+        assert REGION_B.n_pipes == 11_836
+        assert REGION_B.n_cwm == 2_457
+        assert REGION_B.target_failures_all == 3_694
+        assert (REGION_B.laid_year_lo, REGION_B.laid_year_hi) == (1888, 1997)
+
+    def test_region_c(self):
+        assert REGION_C.n_pipes == 18_001
+        assert REGION_C.target_failures_cwm == 563
+        assert REGION_C.density_per_km2 == 300.0
+
+    def test_observation_period(self):
+        assert OBSERVATION_YEARS == tuple(range(1998, 2010))
+        assert TRAIN_YEARS == tuple(range(1998, 2009))
+        assert TEST_YEAR == 2009
+
+    def test_cwm_shares_match_paper(self):
+        """CWM share of pipes ~25/21/28%, of failures ~12.7/11.7/12.7%."""
+        assert REGION_A.n_cwm / REGION_A.n_pipes == pytest.approx(0.2497, abs=0.001)
+        assert REGION_B.n_cwm / REGION_B.n_pipes == pytest.approx(0.2076, abs=0.001)
+        assert REGION_C.n_cwm / REGION_C.n_pipes == pytest.approx(0.28, abs=0.001)
+        assert REGION_A.target_failures_cwm / REGION_A.target_failures_all == pytest.approx(
+            0.1271, abs=0.001
+        )
+
+
+class TestDerivedQuantities:
+    def test_area_from_density(self):
+        assert REGION_A.area_km2 == pytest.approx(210_000 / 629.0)
+
+    def test_denser_region_smaller_blocks(self):
+        assert REGION_B.block_size_m < REGION_A.block_size_m < REGION_C.block_size_m
+
+    def test_rwm_counts(self):
+        assert REGION_A.n_rwm == REGION_A.n_pipes - REGION_A.n_cwm
+        assert REGION_A.target_failures_rwm == 4_093 - 520
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self):
+        assert REGION_A.scaled(1.0) is REGION_A
+
+    def test_counts_scale_proportionally(self):
+        s = REGION_A.scaled(0.1)
+        assert s.n_pipes == pytest.approx(1519, abs=1)
+        assert s.n_cwm == pytest.approx(379, abs=1)
+        assert s.target_failures_cwm == pytest.approx(52, abs=1)
+
+    def test_density_preserved(self):
+        s = REGION_A.scaled(0.25)
+        assert s.density_per_km2 == REGION_A.density_per_km2
+        # Area shrinks with population.
+        assert s.area_km2 == pytest.approx(REGION_A.area_km2 * 0.25, rel=0.01)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            REGION_A.scaled(0.0)
+        with pytest.raises(ValueError):
+            REGION_A.scaled(1.5)
+
+
+class TestGetRegion:
+    def test_lookup_case_insensitive(self):
+        assert get_region("a", scale=1.0).name == "A"
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            get_region("Z")
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        spec = get_region("A")
+        assert spec.n_pipes == pytest.approx(REGION_A.n_pipes * 0.5, abs=1)
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ValueError):
+            get_region("A")
+
+    def test_env_scale_out_of_range(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(ValueError):
+            get_region("A")

@@ -1,0 +1,46 @@
+"""Unit tests for the HTML report builder."""
+
+import pytest
+
+from repro.eval.report import build_report, write_report
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    (tmp_path / "table18_3.txt").write_text("Metric  A:DPMHBP\nAUC  82%")
+    (tmp_path / "fig18_9_region_A.svg").write_text("<svg><line/></svg>")
+    (tmp_path / "custom_extra.txt").write_text("extra numbers & stuff")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_contains_sections(self, artifacts):
+        html_out = build_report(artifacts)
+        assert "Table 18.3" in html_out
+        assert "82%" in html_out
+        assert "<svg>" in html_out  # SVG embedded raw
+
+    def test_escapes_text_artifacts(self, artifacts):
+        html_out = build_report(artifacts)
+        assert "extra numbers &amp; stuff" in html_out
+
+    def test_includes_unknown_artifacts(self, artifacts):
+        assert "custom_extra" in build_report(artifacts)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_valid_document_shape(self, artifacts):
+        html_out = build_report(artifacts)
+        assert html_out.startswith("<!DOCTYPE html>")
+        assert html_out.endswith("</body></html>")
+
+    def test_write_report(self, artifacts):
+        out = write_report(artifacts)
+        assert out.exists()
+        assert out.name == "report.html"
+
+    def test_write_report_custom_path(self, artifacts, tmp_path):
+        out = write_report(artifacts, tmp_path / "r.html")
+        assert out.read_text().startswith("<!DOCTYPE")

@@ -1,0 +1,77 @@
+"""Unit tests for risk-map generation (Fig. 18.9)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.riskmap import RiskMap
+
+
+@pytest.fixture(scope="module")
+def riskmap(tiny_cwm):
+    rng = np.random.default_rng(4)
+    scores = rng.random(tiny_cwm.network.n_pipes)
+    return RiskMap(dataset=tiny_cwm, scores=scores)
+
+
+class TestBands:
+    def test_band_sizes_follow_percentiles(self, riskmap):
+        bands = riskmap.band_of()
+        n = len(bands)
+        top = (bands == 0).sum()
+        assert top == pytest.approx(0.1 * n, abs=1)
+
+    def test_highest_scores_in_top_band(self, riskmap):
+        bands = riskmap.band_of()
+        order = np.argsort(-riskmap.scores)
+        n_top = (bands == 0).sum()
+        assert set(bands[order[:n_top]]) == {0}
+
+    def test_score_shape_validated(self, tiny_cwm):
+        with pytest.raises(ValueError):
+            RiskMap(dataset=tiny_cwm, scores=np.ones(3))
+
+
+class TestFailureOverlay:
+    def test_test_failure_points(self, riskmap, tiny_cwm):
+        pts = riskmap.test_failure_points()
+        expected = [r for r in tiny_cwm.failures if r.year == tiny_cwm.test_year]
+        assert len(pts) == len(expected)
+
+    def test_top_band_hit_rate_range(self, riskmap):
+        rate = riskmap.top_band_hit_rate()
+        assert 0.0 <= rate <= 1.0
+
+    def test_oracle_scores_maximise_hit_rate(self, tiny_cwm):
+        """Scoring test-failing pipes first puts them all in the top band."""
+        pipe_ids = tiny_cwm.pipe_ids()
+        failed = {r.pipe_id for r in tiny_cwm.failures if r.year == tiny_cwm.test_year}
+        scores = np.asarray([1.0 if p in failed else 0.0 for p in pipe_ids])
+        rm = RiskMap(dataset=tiny_cwm, scores=scores)
+        if failed and len(failed) <= 0.1 * len(pipe_ids):
+            assert rm.top_band_hit_rate() == 1.0
+
+
+class TestSVG:
+    def test_valid_svg_document(self, riskmap):
+        svg = riskmap.to_svg(width=400)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<line" in svg
+
+    def test_contains_all_band_colours(self, riskmap):
+        svg = riskmap.to_svg()
+        for _upper, colour, _label in riskmap.bands:
+            assert colour in svg
+
+    def test_stars_drawn_for_failures(self, riskmap):
+        svg = riskmap.to_svg()
+        assert svg.count("<polygon") == len(riskmap.test_failure_points())
+
+    def test_legend_labels(self, riskmap):
+        svg = riskmap.to_svg()
+        assert "top 10% risk" in svg
+
+    def test_save_svg(self, riskmap, tmp_path):
+        path = riskmap.save_svg(tmp_path / "map.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")

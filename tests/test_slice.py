@@ -1,0 +1,62 @@
+"""Unit tests for the slice sampler."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.inference.slice import slice_probability_step, slice_sample_step
+
+
+class TestSliceSampleStep:
+    def test_targets_standard_normal(self, rng):
+        x = 0.0
+        samples = []
+        for _ in range(6000):
+            x = slice_sample_step(x, stats.norm.logpdf, rng, width=2.0)
+            samples.append(x)
+        s = np.asarray(samples[500:])
+        assert s.mean() == pytest.approx(0.0, abs=0.08)
+        assert s.std() == pytest.approx(1.0, abs=0.08)
+
+    def test_targets_skewed_density(self, rng):
+        logpdf = lambda x: float(stats.gamma.logpdf(x, 3.0)) if x > 0 else -np.inf
+        x = 2.0
+        samples = []
+        for _ in range(8000):
+            x = slice_sample_step(x, logpdf, rng, width=1.0)
+            samples.append(x)
+        s = np.asarray(samples[1000:])
+        assert s.mean() == pytest.approx(3.0, abs=0.2)
+
+    def test_width_insensitive(self):
+        for width in (0.1, 1.0, 10.0):
+            rng = np.random.default_rng(3)
+            x = 0.0
+            samples = [
+                x := slice_sample_step(x, stats.norm.logpdf, rng, width=width)
+                for _ in range(3000)
+            ]
+            assert np.mean(samples[500:]) == pytest.approx(0.0, abs=0.15)
+
+    def test_invalid_width(self, rng):
+        with pytest.raises(ValueError):
+            slice_sample_step(0.0, stats.norm.logpdf, rng, width=0.0)
+
+
+class TestSliceProbabilityStep:
+    def test_targets_beta(self, rng):
+        a, b = 2.0, 6.0
+        p = 0.5
+        samples = []
+        for _ in range(8000):
+            p = slice_probability_step(p, lambda q: float(stats.beta.logpdf(q, a, b)), rng)
+            samples.append(p)
+        s = np.asarray(samples[1000:])
+        assert s.mean() == pytest.approx(a / (a + b), abs=0.02)
+        assert s.var() == pytest.approx(stats.beta.var(a, b), rel=0.25)
+
+    def test_stays_in_unit_interval(self, rng):
+        p = 0.0001
+        for _ in range(200):
+            p = slice_probability_step(p, lambda _q: 0.0, rng)
+            assert 0.0 < p < 1.0

@@ -1,0 +1,81 @@
+"""Unit tests for the grid spatial index (exactness against brute force)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.spatial import GridIndex
+
+
+class TestGridIndexBasics:
+    def test_single_point(self):
+        idx = GridIndex([(1.0, 1.0)])
+        i, d = idx.nearest((4.0, 5.0))
+        assert i == 0
+        assert d == pytest.approx(5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GridIndex([])
+
+    def test_query_on_indexed_point(self):
+        pts = [(0.0, 0.0), (10.0, 0.0), (5.0, 5.0)]
+        idx = GridIndex(pts)
+        i, d = idx.nearest((5.0, 5.0))
+        assert i == 2 and d == 0.0
+
+    def test_nearest_distances_vectorised(self):
+        idx = GridIndex([(0.0, 0.0), (10.0, 0.0)])
+        out = idx.nearest_distances([(1.0, 0.0), (9.0, 0.0)])
+        assert out == pytest.approx([1.0, 1.0])
+
+    def test_len(self):
+        assert len(GridIndex([(0.0, 0.0), (1.0, 1.0)])) == 2
+
+
+class TestGridIndexExactness:
+    def brute(self, pts, q):
+        pts = np.asarray(pts)
+        d = np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1])
+        return float(d.min())
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1000, size=(200, 2))
+        idx = GridIndex([tuple(p) for p in pts])
+        for q in rng.uniform(-100, 1100, size=(50, 2)):
+            assert idx.nearest(tuple(q))[1] == pytest.approx(self.brute(pts, q))
+
+    def test_clustered_points(self):
+        rng = np.random.default_rng(1)
+        pts = np.concatenate(
+            [rng.normal(0, 1, (50, 2)), rng.normal(500, 1, (50, 2))]
+        )
+        idx = GridIndex([tuple(p) for p in pts])
+        for q in [(250.0, 250.0), (0.0, 0.0), (500.0, 500.0)]:
+            assert idx.nearest(q)[1] == pytest.approx(self.brute(pts, q))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.tuples(
+            st.floats(min_value=-50, max_value=150, allow_nan=False),
+            st.floats(min_value=-50, max_value=150, allow_nan=False),
+        ),
+    )
+    def test_property_exact(self, pts, q):
+        idx = GridIndex(pts)
+        assert idx.nearest(q)[1] == pytest.approx(self.brute(pts, q), abs=1e-9)
+
+    def test_custom_cell_size(self):
+        pts = [(0.0, 0.0), (100.0, 100.0)]
+        idx = GridIndex(pts, cell_size=5.0)
+        assert idx.nearest((99.0, 99.0))[0] == 1

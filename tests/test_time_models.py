@@ -1,0 +1,91 @@
+"""Unit tests for the early age-only rate models."""
+
+import numpy as np
+import pytest
+
+from repro.survival.time_models import (
+    TimeExponentialModel,
+    TimeLinearModel,
+    TimePowerModel,
+)
+
+
+def synth(rng, rate_fn, n=4000):
+    ages = rng.uniform(1.0, 70.0, n)
+    lengths = rng.uniform(20.0, 300.0, n)
+    counts = rng.poisson(rate_fn(ages) * lengths)
+    return ages, counts, lengths
+
+
+class TestTimeExponential:
+    def test_recovers_growth_rate(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 2e-5 * np.exp(0.05 * a))
+        model = TimeExponentialModel().fit(ages, counts, lengths)
+        # Slope of log-rate per year of age.
+        slope = model.glm_.coef_[1]
+        assert slope == pytest.approx(0.05, abs=0.01)
+
+    def test_rate_positive(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-4 * np.ones_like(a))
+        model = TimeExponentialModel().fit(ages, counts, lengths)
+        assert np.all(model.rate(np.array([1.0, 50.0])) > 0)
+
+    def test_expected_failures_scale_with_length(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-4 * np.exp(0.02 * a))
+        model = TimeExponentialModel().fit(ages, counts, lengths)
+        e1 = model.expected_failures(np.array([30.0]), np.array([100.0]))
+        e2 = model.expected_failures(np.array([30.0]), np.array([200.0]))
+        assert e2[0] == pytest.approx(2.0 * e1[0])
+
+
+class TestTimePower:
+    def test_recovers_exponent(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-6 * a**1.8)
+        model = TimePowerModel().fit(ages, counts, lengths)
+        assert model.glm_.coef_[1] == pytest.approx(1.8, abs=0.15)
+
+    def test_rate_handles_zero_age(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-5 * a)
+        model = TimePowerModel().fit(ages, counts, lengths)
+        assert np.isfinite(model.rate(np.array([0.0]))[0])
+
+
+class TestTimeLinear:
+    def test_recovers_line(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-5 + 2e-6 * a, n=8000)
+        model = TimeLinearModel().fit(ages, counts, lengths)
+        assert model.slope_ == pytest.approx(2e-6, rel=0.3)
+        assert model.intercept_ == pytest.approx(1e-5, abs=1.5e-5)
+
+    def test_rate_floored_at_zero(self, rng):
+        ages, counts, lengths = synth(rng, lambda a: 1e-5 * a)
+        model = TimeLinearModel().fit(ages, counts, lengths)
+        model.intercept_, model.slope_ = -1.0, 0.0
+        assert np.all(model.rate(np.array([1.0])) == 0.0)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TimeLinearModel().rate(np.array([1.0]))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "model_cls", [TimeExponentialModel, TimePowerModel, TimeLinearModel]
+    )
+    def test_misaligned(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit(np.ones(3), np.ones(2), np.ones(3))
+
+    @pytest.mark.parametrize(
+        "model_cls", [TimeExponentialModel, TimePowerModel, TimeLinearModel]
+    )
+    def test_non_positive_lengths(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit(np.ones(2), np.ones(2), np.array([0.0, 1.0]))
+
+    @pytest.mark.parametrize(
+        "model_cls", [TimeExponentialModel, TimePowerModel, TimeLinearModel]
+    )
+    def test_negative_counts(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit(np.ones(2), np.array([-1.0, 1.0]), np.ones(2))

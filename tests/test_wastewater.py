@@ -1,0 +1,53 @@
+"""Unit tests for the waste-water network and choke simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.wastewater import load_wastewater_region
+from repro.network.pipe import Material
+
+
+class TestWastewaterDataset:
+    def test_vegetation_layers_attached(self, tiny_wastewater):
+        assert tiny_wastewater.environment.canopy is not None
+        assert tiny_wastewater.environment.moisture is not None
+
+    def test_materials_are_sewer_types(self, tiny_wastewater):
+        allowed = {Material.VC, Material.CONC, Material.PVC, Material.PE}
+        assert all(p.material in allowed for p in tiny_wastewater.network.iter_pipes())
+
+    def test_choke_count_near_target(self, tiny_wastewater):
+        target = tiny_wastewater.spec.target_failures_all
+        sigma = np.sqrt(target)
+        assert abs(len(tiny_wastewater.failures) - target) < 5 * sigma
+
+    def test_vc_chokes_more_than_pvc(self, tiny_wastewater):
+        """Jointed clay is the root-intrusion victim; PVC is tight."""
+        ds = tiny_wastewater
+        by_material = {Material.VC: [0, 0.0], Material.PVC: [0, 0.0]}
+        mat_of = {p.pipe_id: p.material for p in ds.network.iter_pipes()}
+        for p in ds.network.iter_pipes():
+            if p.material in by_material:
+                by_material[p.material][1] += p.length
+        for r in ds.failures:
+            m = mat_of[r.pipe_id]
+            if m in by_material:
+                by_material[m][0] += 1
+        vc_rate = by_material[Material.VC][0] / by_material[Material.VC][1]
+        pvc_rate = by_material[Material.PVC][0] / max(by_material[Material.PVC][1], 1.0)
+        assert vc_rate > 1.5 * pvc_rate
+
+    def test_canopy_correlation_positive(self, tiny_wastewater):
+        """The Fig 18.5 relationship: chokes concentrate under canopy."""
+        ds = tiny_wastewater
+        segments = ds.network.segments()
+        cover = ds.environment.canopy.coverage_at([s.midpoint for s in segments])
+        fails = ds.segment_failure_matrix().sum(axis=1).astype(float)
+        # Exposure-weighted comparison: failing segments sit under more canopy.
+        assert cover[fails > 0].mean() > cover[fails == 0].mean()
+
+    def test_deterministic(self):
+        a = load_wastewater_region("B", scale=0.02, seed=5)
+        b = load_wastewater_region("B", scale=0.02, seed=5)
+        assert len(a.failures) == len(b.failures)
+        assert a.failures[:10] == b.failures[:10]

@@ -1,0 +1,87 @@
+"""Unit tests for the Weibull NHPP model."""
+
+import numpy as np
+import pytest
+
+from repro.survival.weibull import WeibullNHPP, _weibull_exposure
+
+
+class TestExposure:
+    def test_power_difference(self):
+        out = _weibull_exposure(np.array([2.0]), np.array([3.0]), 2.0)
+        assert out[0] == pytest.approx(5.0)  # 9 - 4
+
+    def test_floor_positive(self):
+        out = _weibull_exposure(np.array([1.0]), np.array([1.0]), 1.5)
+        assert out[0] > 0
+
+    def test_negative_ages_clipped(self):
+        out = _weibull_exposure(np.array([-5.0]), np.array([1.0]), 2.0)
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestFitting:
+    def test_recovers_shape(self, rng):
+        n = 3000
+        ages = rng.uniform(1.0, 60.0, n)
+        true_shape = 2.0
+        lam = 0.0008 * ((ages + 1.0) ** true_shape - ages**true_shape)
+        counts = rng.poisson(lam)
+        model = WeibullNHPP().fit(np.zeros((n, 1)), counts, ages, ages + 1.0)
+        assert model.shape_ == pytest.approx(true_shape, abs=0.35)
+
+    def test_recovers_covariate_effect(self, rng):
+        n = 3000
+        ages = rng.uniform(1.0, 40.0, n)
+        x = rng.standard_normal(n)
+        lam = 0.01 * ((ages + 1.0) ** 1.5 - ages**1.5) * np.exp(0.7 * x)
+        counts = rng.poisson(lam)
+        model = WeibullNHPP(l2=1e-6).fit(x[:, None], counts, ages, ages + 1.0)
+        assert model.glm_.coef_[1] == pytest.approx(0.7, abs=0.15)
+
+    def test_decreasing_intensity_shape_below_one(self, rng):
+        n = 4000
+        ages = rng.uniform(1.0, 60.0, n)
+        true_shape = 0.5
+        lam = 0.05 * ((ages + 1.0) ** true_shape - ages**true_shape)
+        counts = rng.poisson(lam)
+        model = WeibullNHPP().fit(np.zeros((n, 1)), counts, ages, ages + 1.0)
+        assert model.shape_ < 1.0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            WeibullNHPP().fit(np.ones((3, 1)), np.ones(2), np.ones(3), np.ones(3))
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(5)
+        n = 2000
+        ages = rng.uniform(1.0, 50.0, n)
+        x = rng.standard_normal(n)
+        lam = 0.001 * ((ages + 1.0) ** 1.8 - ages**1.8) * np.exp(0.5 * x)
+        counts = rng.poisson(lam)
+        return WeibullNHPP().fit(x[:, None], counts, ages, ages + 1.0)
+
+    def test_expected_failures_grow_with_age(self, fitted):
+        X = np.zeros((2, 1))
+        young = fitted.expected_failures(X[:1], np.array([5.0]), np.array([6.0]))
+        old = fitted.expected_failures(X[1:], np.array([50.0]), np.array([51.0]))
+        assert old[0] > young[0]
+
+    def test_probability_bounded(self, fitted, rng):
+        X = rng.standard_normal((50, 1))
+        ages = rng.uniform(1, 80, 50)
+        p = fitted.failure_probability(X, ages, ages + 1.0)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_probability_below_expectation(self, fitted):
+        X = np.array([[2.0]])
+        e = fitted.expected_failures(X, np.array([60.0]), np.array([61.0]))
+        p = fitted.failure_probability(X, np.array([60.0]), np.array([61.0]))
+        assert p[0] <= e[0]
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            WeibullNHPP().expected_failures(np.ones((1, 1)), np.ones(1), np.ones(1) + 1)
