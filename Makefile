@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench bench-save bench-compare perfcheck report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,19 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Perf-regression harness (no pytest-benchmark needed): snapshot the five
+# sampler benchmarks to BENCH_<rev>.json / fail on >25% median regressions.
+bench-save:
+	PYTHONPATH=src python -m repro.perf save
+
+bench-compare:
+	PYTHONPATH=src python -m repro.perf compare
+
+# Fast perf smoke for tier-1 CI: one DPMHBP sweep + one exact-AUC call
+# must land under a generous ceiling.
+perfcheck:
+	PYTHONPATH=src python -m repro.perf smoke
 
 report:
 	python -c "from repro.eval.report import write_report; print(write_report('benchmarks/artifacts'))"

@@ -8,12 +8,16 @@ Commands
 ``plan``       produce a budget-constrained inspection plan with economics
 
 All commands accept ``--scale`` (fraction of paper-scale data, default
-from ``REPRO_SCALE``/0.25) and ``--seed``.
+from ``REPRO_SCALE``/0.25), ``--seed``, and the parallelism knobs
+``--jobs N`` / ``--executor {serial,threads,processes}`` (exported as
+``REPRO_JOBS``/``REPRO_EXECUTOR`` so every fan-out point — DPMHBP chains,
+comparison cells — picks them up; results are identical at any setting).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -88,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser, region: bool = True) -> None:
         p.add_argument("--scale", type=float, default=None)
         p.add_argument("--seed", type=int, default=None)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker count for parallel fan-out (default: REPRO_JOBS or serial)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=["serial", "threads", "processes"],
+            default=None,
+            help="execution backend (default: REPRO_EXECUTOR, or threads when --jobs > 1)",
+        )
         if region:
             p.add_argument("--region", default="A", choices=["A", "B", "C"])
 
@@ -118,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    # Export the parallelism knobs so every fan-out point downstream
+    # (chains, comparison cells) resolves the same executor config.
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "executor", None) is not None:
+        os.environ["REPRO_EXECUTOR"] = args.executor
     return args.func(args)
 
 

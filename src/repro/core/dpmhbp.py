@@ -27,6 +27,16 @@ observation years ``m`` and tiny failure counts, the per-cluster
 Beta–Binomial terms are precomputed as a ``(K, m+1)`` table once per sweep
 — the sparsity-exploiting approximation that keeps sweeps linear in the
 number of segments.
+
+The implementation keeps the sequential CRP scan (Algorithm 8 is
+inherently one-segment-at-a-time) but everything inside and around it is
+vectorized: auxiliary-cluster weights come from one ``betaln`` call over
+all ``n_aux`` candidates, the categorical draw is a Gumbel-max over the
+log-weights (no normalisation, no ``rng.choice``), the live cluster-size
+array is authoritative during the sweep and synced back to the cluster
+state once per sweep, the ``q_k`` block scores a cluster through its
+(m+1)-bin failure-count histogram instead of its member vector, and the
+conjugate Gaussian block updates every cluster mean in one batch.
 """
 
 from __future__ import annotations
@@ -37,11 +47,17 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.special import betaln
 
-from ..bayes.distributions import beta_binomial_logmarginal, beta_logpdf
+from ..bayes.distributions import beta_logpdf
 from ..features.builder import ModelData
 from ..inference.metropolis import AdaptiveScale, metropolis_probability_step
 from ..ml.glm import PoissonRegression
+from ..parallel.executor import parallel_map, resolve_executor
 from .base import FailureModel
+
+
+def _betaln_scalar(a: float, b: float) -> float:
+    """Scalar ``betaln`` via ``math.lgamma`` — far cheaper than the ufunc."""
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
 
 
 @dataclass
@@ -78,6 +94,7 @@ class _ClusterState:
         self.mu: list[np.ndarray] = []
         self.count: list[int] = []
         self.bb_table: list[np.ndarray] = []  # (m+1,) per cluster
+        self._s_grid = np.arange(m + 1.0)
 
     @property
     def k(self) -> int:
@@ -85,7 +102,7 @@ class _ClusterState:
 
     def bb_column(self, q: float) -> np.ndarray:
         """Beta–Binomial log marginal for s = 0..m at group rate ``q``."""
-        s = np.arange(self.m + 1.0)
+        s = self._s_grid
         a = self.c * q
         b = self.c * (1.0 - q)
         return betaln(a + s, b + self.m - s) - betaln(a, b)
@@ -168,31 +185,30 @@ class DPMHBP:
                 raise ValueError("features must have one row per segment")
             d = feats.shape[1]
             sigma2 = 1.0 / self.feature_weight
-            feat_sq = np.sum(feats**2, axis=1)
         else:
             feats = np.zeros((n_seg, 1))
             d = 1
             sigma2 = 1.0
-            feat_sq = np.zeros(n_seg)
         tau2 = 1.0  # prior variance of cluster feature means
 
         rng = np.random.default_rng(self.seed)
         state = _ClusterState(self.c_group, m, d)
 
         # Initialise from the provided seed partition, or a coarse random one.
+        # Either way, relabel to contiguous ids so no initial cluster is
+        # empty — reassigning random segments to fill gaps (the old
+        # behaviour) could silently empty *another* cluster and leave its
+        # stale count in play for the whole run.
         if init_labels is not None:
             z = np.asarray(init_labels, dtype=np.int64).copy()
             if z.shape != (n_seg,):
                 raise ValueError("init_labels must have one label per segment")
-            _, z = np.unique(z, return_inverse=True)
         else:
             init_k = max(2, min(10, n_seg))
             z = rng.integers(0, init_k, size=n_seg)
+        _, z = np.unique(z, return_inverse=True)
         for k in range(int(z.max()) + 1):
             members = z == k
-            if not members.any():
-                z[rng.integers(n_seg)] = k
-                members = z == k
             mu0 = feats[members].mean(axis=0) if use_features else np.zeros(d)
             q_init = min(max((s[members].mean() / m) + 1e-3, 1e-4), 0.5)
             state.add(q_init, mu0, int(members.sum()))
@@ -206,11 +222,37 @@ class DPMHBP:
         q_props = 0
 
         log_alpha_aux = math.log(self.alpha / self.n_aux)
+        a0 = self.c0 * self.q0
+        b0 = self.c0 * (1.0 - self.q0)
+        sqrt_tau = math.sqrt(tau2)
+        s_f = s.astype(float)
 
         for sweep in range(self.n_sweeps):
             # ---- Block 1: CRP assignments (Neal Algorithm 8) ----
             counts, bb, mu, mu_sq = state.matrices()
+            log_counts = np.log(counts)
             order = rng.permutation(n_seg)
+            # Draw every segment's auxiliary-cluster parameters up front and
+            # score them in one vectorized pass: the failure count s_l is
+            # fixed within a sweep, so each segment's Beta–Binomial term
+            # depends only on its own pre-drawn auxiliary rates.
+            aux_q_all = rng.beta(a0, b0, (n_seg, self.n_aux))
+            aux_mu_all = rng.normal(0.0, sqrt_tau, (n_seg, self.n_aux, d))
+            a_aux = self.c_group * aux_q_all
+            b_aux = self.c_group - a_aux
+            aux_base = (
+                log_alpha_aux
+                + betaln(a_aux + s_f[:, None], b_aux + (m - s_f)[:, None])
+                - betaln(a_aux, b_aux)
+            )
+            if use_features:
+                # ‖feats_l‖² is common to every candidate (existing and
+                # auxiliary) and cannot move the draw, so both weight
+                # formulas drop it.
+                aux_cross = np.einsum("ld,lhd->lh", feats, aux_mu_all)
+                aux_sq = np.einsum("lhd,lhd->lh", aux_mu_all, aux_mu_all)
+                aux_base += (aux_cross - 0.5 * aux_sq) / sigma2
+
             for l in order:
                 k_old = int(z[l])
                 counts[k_old] -= 1.0
@@ -221,72 +263,79 @@ class DPMHBP:
                     state.remove(k_old)
                     scales.pop(k_old)
                     counts = np.delete(counts, k_old)
+                    log_counts = np.delete(log_counts, k_old)
                     bb = np.delete(bb, k_old, axis=0)
                     mu = np.delete(mu, k_old, axis=0)
                     mu_sq = np.delete(mu_sq, k_old)
                     z[z > k_old] -= 1
+                else:
+                    log_counts[k_old] = math.log(counts[k_old])
                 k_live = state.k
 
                 # Existing-cluster log weights.
-                logw = np.log(np.maximum(counts, 1e-300)) + bb[:, s[l]]
+                logw = log_counts + bb[:, s[l]]
                 if use_features:
-                    cross = mu @ feats[l]
-                    logw = logw - 0.5 * (feat_sq[l] - 2.0 * cross + mu_sq) / sigma2
+                    logw += (mu @ feats[l] - 0.5 * mu_sq) / sigma2
 
                 # Auxiliary clusters from the prior (the deleted singleton's
                 # parameters are recycled as the first auxiliary, per Alg 8).
-                aux_q = rng.beta(self.c0 * self.q0, self.c0 * (1.0 - self.q0), self.n_aux)
-                aux_mu = rng.normal(0.0, math.sqrt(tau2), (self.n_aux, d))
+                aux_q = aux_q_all[l]
+                aux_mu = aux_mu_all[l]
+                aux_logw = aux_base[l]
                 if singleton_params is not None:
-                    aux_q[0] = singleton_params[0]
-                    aux_mu[0] = singleton_params[1]
-                aux_logw = np.empty(self.n_aux)
-                for h in range(self.n_aux):
-                    aux_logw[h] = log_alpha_aux + float(
-                        beta_binomial_logmarginal(
-                            float(s[l]), m, self.c_group * aux_q[h], self.c_group * (1.0 - aux_q[h])
-                        )
+                    aux_q = aux_q.copy()
+                    aux_mu = aux_mu.copy()
+                    aux_logw = aux_logw.copy()
+                    q_s, mu_s = singleton_params
+                    aux_q[0] = q_s
+                    aux_mu[0] = mu_s
+                    a_s = self.c_group * q_s
+                    b_s = self.c_group * (1.0 - q_s)
+                    sl = float(s[l])
+                    w0 = (
+                        log_alpha_aux
+                        + _betaln_scalar(a_s + sl, b_s + (m - sl))
+                        - _betaln_scalar(a_s, b_s)
                     )
                     if use_features:
-                        diff = feats[l] - aux_mu[h]
-                        aux_logw[h] -= 0.5 * float(diff @ diff) / sigma2
+                        w0 += (float(feats[l] @ mu_s) - 0.5 * float(mu_s @ mu_s)) / sigma2
+                    aux_logw[0] = w0
 
+                # Gumbel-max categorical draw on the unnormalised log-weights.
                 all_logw = np.concatenate([logw, aux_logw])
-                all_logw -= all_logw.max()
-                probs = np.exp(all_logw)
-                probs /= probs.sum()
-                choice = int(rng.choice(probs.size, p=probs))
+                all_logw += rng.gumbel(size=all_logw.size)
+                choice = int(all_logw.argmax())
 
                 if choice < k_live:
                     z[l] = choice
                     counts[choice] += 1.0
-                    state.count[choice] += 1
+                    log_counts[choice] = math.log(counts[choice])
                 else:
                     h = choice - k_live
                     new_k = state.add(float(aux_q[h]), aux_mu[h], 1)
                     scales.append(AdaptiveScale())
                     z[l] = new_k
                     counts = np.append(counts, 1.0)
+                    log_counts = np.append(log_counts, 0.0)
                     bb = np.vstack([bb, state.bb_table[new_k]])
                     mu = np.vstack([mu, aux_mu[h]])
                     mu_sq = np.append(mu_sq, float(aux_mu[h] @ aux_mu[h]))
-                # Keep state.count in sync with the live array.
-                state.count = [int(c) for c in counts]
+            # The live ``counts`` array was authoritative during the scan;
+            # write it back to the cluster state once per sweep.
+            state.count = [int(c) for c in counts]
 
             # ---- Block 2: q_k via logit Metropolis (collapsed ρ) ----
+            # Failure counts live on the small grid 0..m, so a cluster's
+            # collapsed likelihood is its count-histogram dotted with the
+            # (m+1)-long Beta–Binomial table — O(m) per target evaluation
+            # regardless of cluster size.
+            hist = np.zeros((state.k, int(m) + 1))
+            np.add.at(hist, (z, s), 1.0)
             for k in range(state.k):
-                sk = s[z == k].astype(float)
 
-                def log_target(qk: float, sk=sk) -> float:
+                def log_target(qk: float, hk=hist[k]) -> float:
                     prior = float(beta_logpdf(qk, self.c0 * self.q0, self.c0 * (1.0 - self.q0)))
-                    lik = float(
-                        np.sum(
-                            beta_binomial_logmarginal(
-                                sk, m, self.c_group * qk, self.c_group * (1.0 - qk)
-                            )
-                        )
-                    )
-                    return prior + lik
+                    return prior + float(hk @ state.bb_column(qk))
 
                 new_q, accepted = metropolis_probability_step(
                     state.q[k], log_target, scales[k].scale, rng
@@ -300,12 +349,16 @@ class DPMHBP:
 
             # ---- Block 3: cluster feature means (conjugate Gaussian) ----
             if use_features:
-                for k in range(state.k):
-                    members = feats[z == k]
-                    n_k = len(members)
-                    post_var = 1.0 / (1.0 / tau2 + n_k / sigma2)
-                    post_mean = post_var * members.sum(axis=0) / sigma2
-                    state.mu[k] = post_mean + math.sqrt(post_var) * rng.standard_normal(d)
+                k_tot = state.k
+                seg_sums = np.zeros((k_tot, d))
+                np.add.at(seg_sums, z, feats)
+                n_k = np.bincount(z, minlength=k_tot).astype(float)
+                post_var = 1.0 / (1.0 / tau2 + n_k / sigma2)
+                post_mean = post_var[:, None] * seg_sums / sigma2
+                draws = post_mean + np.sqrt(post_var)[:, None] * rng.standard_normal(
+                    (k_tot, d)
+                )
+                state.mu = [draws[k] for k in range(k_tot)]
 
             n_clusters_trace.append(state.k)
 
@@ -329,6 +382,12 @@ class DPMHBP:
         )
 
 
+def _fit_dpmhbp_chain(task: tuple) -> DPMHBPPosterior:
+    """Run one chain of the sampler (module-level so processes can pickle it)."""
+    sampler, failures, features, init = task
+    return sampler.fit(failures, features, init_labels=init)
+
+
 @dataclass
 class DPMHBPModel(FailureModel):
     """DPMHBP failure model: segment-level inference, pipe-level prediction.
@@ -338,6 +397,11 @@ class DPMHBPModel(FailureModel):
     ``π_i = 1 − Π(1 − ρ_l)`` over the pipe's segments, and applies the
     multiplicative covariate factor (Poisson GLM), mirroring the paper's
     "features applied multiplicatively" treatment.
+
+    Chains are independent given their derived seeds, so they fan across
+    the executor configured by ``jobs``/``executor`` (or the
+    ``REPRO_JOBS``/``REPRO_EXECUTOR`` environment variables) with
+    bit-identical results on every backend.
     """
 
     name: str = "DPMHBP"
@@ -351,6 +415,8 @@ class DPMHBPModel(FailureModel):
     n_chains: int = 2
     covariates: bool = True
     seed: int = 0
+    jobs: int | None = None
+    executor: str | None = None
     posterior_: DPMHBPPosterior | None = field(default=None, repr=False)
     chain_posteriors_: list[DPMHBPPosterior] = field(default_factory=list, repr=False)
     _factor: np.ndarray | None = field(default=None, repr=False)
@@ -366,21 +432,26 @@ class DPMHBPModel(FailureModel):
             np.char.add(materials.astype(str), decades.astype(str)), return_inverse=True
         )
         features = data.clustering_features()
-        self.chain_posteriors_ = []
-        for chain in range(self.n_chains):
-            sampler = DPMHBP(
-                alpha=self.alpha,
-                q0=self.q0,
-                c0=self.c0,
-                c_group=self.c_group,
-                feature_weight=self.feature_weight,
-                n_sweeps=self.n_sweeps,
-                burn_in=self.burn_in,
-                seed=self.seed + 101 * chain,
+        tasks = [
+            (
+                DPMHBP(
+                    alpha=self.alpha,
+                    q0=self.q0,
+                    c0=self.c0,
+                    c_group=self.c_group,
+                    feature_weight=self.feature_weight,
+                    n_sweeps=self.n_sweeps,
+                    burn_in=self.burn_in,
+                    seed=self.seed + 101 * chain,
+                ),
+                data.seg_fail_train,
+                features,
+                init,
             )
-            self.chain_posteriors_.append(
-                sampler.fit(data.seg_fail_train, features, init_labels=init)
-            )
+            for chain in range(self.n_chains)
+        ]
+        exec_config = resolve_executor(self.jobs, self.executor)
+        self.chain_posteriors_ = parallel_map(_fit_dpmhbp_chain, tasks, exec_config)
         # Pool the chains: the posterior mean averages, the variance adds
         # the within-chain and between-chain components.
         rho_means = np.stack([p.rho_mean for p in self.chain_posteriors_])

@@ -2,7 +2,7 @@
 
 from .evolutionary import DifferentialEvolution, EvolutionStrategy, OptimisationResult
 from .model import AUCRankingModel, SVMClassifierModel, SVMRankingModel, build_snapshots
-from .objective import empirical_auc, sigmoid_auc, top_fraction_hit_rate
+from .objective import empirical_auc, midranks, sigmoid_auc, top_fraction_hit_rate
 from .ranksvm import RankSVM
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "SVMRankingModel",
     "build_snapshots",
     "empirical_auc",
+    "midranks",
     "sigmoid_auc",
     "top_fraction_hit_rate",
     "RankSVM",

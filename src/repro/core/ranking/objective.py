@@ -32,25 +32,43 @@ def empirical_auc(scores: np.ndarray, labels: np.ndarray) -> float:
     n_neg = labels.size - n_pos
     if n_pos == 0 or n_neg == 0:
         raise ValueError("AUC needs at least one positive and one negative")
-    ranks = _midranks(scores)
+    ranks = midranks(scores)
     rank_sum = float(ranks[pos].sum())
     u = rank_sum - n_pos * (n_pos + 1) / 2.0
     return u / (n_pos * n_neg)
 
 
-def _midranks(x: np.ndarray) -> np.ndarray:
-    """1-based ranks with ties assigned the mean rank of their block."""
+def midranks(x: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the mean rank of their block.
+
+    The repo's one rank-sum implementation (every AUC path goes through
+    it). Fully vectorized: tie blocks are the runs between change points
+    of the sorted array, and each block's mean rank broadcasts back via
+    ``np.repeat``.
+    """
+    x = np.asarray(x)
+    n = x.size
     order = np.argsort(x, kind="mergesort")
-    ranks = np.empty(x.size, dtype=float)
     sorted_x = x[order]
-    i = 0
-    while i < x.size:
-        j = i
-        while j + 1 < x.size and sorted_x[j + 1] == sorted_x[i]:
-            j += 1
-        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
-        i = j + 1
+    block_start = np.empty(n, dtype=bool)
+    if n:
+        block_start[0] = True
+        np.not_equal(sorted_x[1:], sorted_x[:-1], out=block_start[1:])
+    starts = np.flatnonzero(block_start)
+    ends = np.append(starts[1:], n)  # exclusive block ends
+    block_rank = 0.5 * (starts + ends - 1) + 1.0
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = np.repeat(block_rank, ends - starts)
     return ranks
+
+
+#: Backwards-compatible alias (the function predates its public export).
+_midranks = midranks
+
+
+#: Pairwise-delta blocks are streamed at most this many elements at a time,
+#: bounding sigmoid_auc's peak allocation to a few MB however large |P|·|N|.
+_SIGMOID_AUC_BLOCK = 4_000_000
 
 
 def sigmoid_auc(scores: np.ndarray, labels: np.ndarray, sharpness: float = 5.0) -> float:
@@ -58,7 +76,9 @@ def sigmoid_auc(scores: np.ndarray, labels: np.ndarray, sharpness: float = 5.0) 
 
     Upper-bounds nothing and lower-bounds nothing in general, but its
     maximiser approaches the exact-AUC maximiser as ``sharpness → ∞``.
-    O(|P|·|N|) — use on subsampled pairs for large data.
+    O(|P|·|N|) time, but the pairwise delta matrix is computed in
+    memory-bounded chunks of positives, so large inputs never allocate
+    the full |P|×|N| array.
     """
     scores = np.asarray(scores, dtype=float)
     labels = np.asarray(labels, dtype=float).ravel()
@@ -66,8 +86,12 @@ def sigmoid_auc(scores: np.ndarray, labels: np.ndarray, sharpness: float = 5.0) 
     neg = scores[labels != 1.0]
     if pos.size == 0 or neg.size == 0:
         raise ValueError("need at least one positive and one negative")
-    delta = sharpness * (pos[:, None] - neg[None, :])
-    return float(np.mean(1.0 / (1.0 + np.exp(-np.clip(delta, -50, 50)))))
+    rows_per_chunk = max(1, _SIGMOID_AUC_BLOCK // neg.size)
+    total = 0.0
+    for start in range(0, pos.size, rows_per_chunk):
+        delta = sharpness * (pos[start : start + rows_per_chunk, None] - neg[None, :])
+        total += float(np.sum(1.0 / (1.0 + np.exp(-np.clip(delta, -50, 50)))))
+    return total / (pos.size * neg.size)
 
 
 def top_fraction_hit_rate(scores: np.ndarray, labels: np.ndarray, fraction: float) -> float:

@@ -20,9 +20,9 @@ from ..core.dpmhbp import DPMHBPModel
 from ..core.hbp import HBPBestModel
 from ..core.ranking.model import AUCRankingModel, SVMRankingModel
 from ..core.survival_models import CoxPHModel, WeibullModel
-from ..data.datasets import load_region
-from ..features.builder import FeatureConfig, ModelData, build_model_data
+from ..features.builder import FeatureConfig, ModelData
 from ..network.pipe import PipeClass
+from ..parallel import cached_model_data, parallel_map, resolve_executor
 from .metrics import DetectionCurve, auc_at_budget, detection_curve, empirical_auc, permyriad
 from .significance import TTestResult, paired_t_test
 
@@ -85,11 +85,20 @@ def prepare_region_data(
     pipe_class: PipeClass | None = PipeClass.CWM,
     feature_config: FeatureConfig | None = None,
 ) -> ModelData:
-    """Generate a region and build the shared model inputs."""
-    dataset = load_region(region, scale=scale, seed=seed)
-    if pipe_class is not None:
-        dataset = dataset.subset(pipe_class)
-    return build_model_data(dataset, feature_config)
+    """Generate a region and build the shared model inputs.
+
+    Memoised per (region, scale, seed, pipe class, feature config) via
+    :func:`repro.parallel.cached_model_data`, so repeated evaluations of
+    the same generated region pay the generation and feature-assembly
+    cost once per process.
+    """
+    return cached_model_data(
+        region,
+        scale=scale,
+        seed=seed,
+        pipe_class=pipe_class,
+        feature_config=feature_config,
+    )
 
 
 def evaluate_models(
@@ -157,6 +166,23 @@ class ComparisonResult:
         return paired_t_test(samples(region, model_a), samples(region, model_b))
 
 
+def _comparison_cell(task: tuple) -> RegionRun:
+    """Evaluate one independent (region, repeat) cell.
+
+    Module-level (not a closure) so process pools can pickle it. The cell
+    carries everything it needs; each worker regenerates / fetches its
+    region from the cache and fits a fresh model line-up, so cells are
+    independent and their results depend only on the seeds they carry.
+    """
+    region, repeat, seed, scale, budget, fast, feature_config, models_factory = task
+    data = prepare_region_data(
+        region, seed=seed, scale=scale, feature_config=feature_config
+    )
+    factory = models_factory or (lambda s: default_models(seed=s, fast=fast))
+    models = factory(repeat)
+    return evaluate_models(data, models, budget=budget, region=region, seed=seed or 0)
+
+
 def run_comparison(
     regions: Sequence[str] = ("A", "B", "C"),
     n_repeats: int = 5,
@@ -166,25 +192,39 @@ def run_comparison(
     base_seed: int = 0,
     fast: bool = True,
     feature_config: FeatureConfig | None = None,
+    jobs: int | None = None,
+    executor: str | None = None,
 ) -> ComparisonResult:
     """The full Table 18.3/18.4 experiment.
 
     Each repeat regenerates every region with seed ``base_seed + repeat``
     (repeat 0 uses the region's canonical seed) and refits all models, so
     per-repeat metrics are paired across models.
+
+    The (region, repeat) cells are independent given their seeds, so they
+    fan across the executor selected by ``jobs``/``executor`` (or the
+    ``REPRO_JOBS``/``REPRO_EXECUTOR`` environment variables); results are
+    bit-identical to a serial run. With a process executor, a custom
+    ``models_factory`` must be picklable (a module-level function).
     """
     if n_repeats < 1:
         raise ValueError("need at least one repeat")
-    factory = models_factory or (lambda s: default_models(seed=s, fast=fast))
+    cells = [
+        (
+            region,
+            repeat,
+            None if repeat == 0 else base_seed + 1000 + repeat,
+            scale,
+            budget,
+            fast,
+            feature_config,
+            models_factory,
+        )
+        for repeat in range(n_repeats)
+        for region in regions
+    ]
+    results = parallel_map(_comparison_cell, cells, resolve_executor(jobs, executor))
     runs: dict[str, list[RegionRun]] = {r: [] for r in regions}
-    for repeat in range(n_repeats):
-        seed = None if repeat == 0 else base_seed + 1000 + repeat
-        for region in regions:
-            data = prepare_region_data(region, seed=seed, scale=scale)
-            models = factory(repeat)
-            runs[region].append(
-                evaluate_models(
-                    data, models, budget=budget, region=region, seed=seed or 0
-                )
-            )
+    for cell_run in results:  # cells are repeat-major, so repeats stay ordered
+        runs[cell_run.region].append(cell_run)
     return ComparisonResult(runs=runs)

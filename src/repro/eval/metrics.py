@@ -20,10 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.ranking.objective import empirical_auc
+# The rank-sum machinery lives in exactly one place —
+# ``repro.core.ranking.objective`` — and is re-exported here so evaluation
+# code and ranking code share the same implementation.
+from ..core.ranking.objective import empirical_auc, midranks
 
 __all__ = [
     "empirical_auc",
+    "midranks",
     "DetectionCurve",
     "detection_curve",
     "auc_at_budget",

@@ -1,0 +1,23 @@
+"""Parallel execution layer: executors and generation caches.
+
+Everything in the repo that fans independent units of work — MCMC chains
+in :class:`~repro.core.dpmhbp.DPMHBPModel`, the (region, repeat) cells of
+:func:`~repro.eval.experiment.run_comparison` — goes through the
+:func:`parallel_map` abstraction here, so one config (or the
+``REPRO_JOBS``/``REPRO_EXECUTOR`` environment variables) switches the
+whole pipeline between serial, threaded and multi-process execution.
+
+Every unit of work derives its own RNG seed, so results are bit-identical
+across backends — parallelism changes wall-clock, never numbers.
+"""
+
+from .cache import cached_model_data, clear_model_data_cache
+from .executor import ExecutorConfig, parallel_map, resolve_executor
+
+__all__ = [
+    "ExecutorConfig",
+    "parallel_map",
+    "resolve_executor",
+    "cached_model_data",
+    "clear_model_data_cache",
+]

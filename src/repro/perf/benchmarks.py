@@ -1,0 +1,87 @@
+"""The five sampler benchmarks, as plain callables.
+
+These mirror ``benchmarks/test_perf_samplers.py`` workload-for-workload —
+same sizes, same seeds — but need no pytest-benchmark, so the regression
+harness (``python -m repro.perf``) can run them in bare CI and write
+comparable medians into ``BENCH_<rev>.json`` snapshots.
+
+Each ``make_*`` factory performs its setup (data generation) once and
+returns the zero-argument callable to be timed, keeping setup cost out of
+the measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..bayes.crp import sample_partition
+from ..core.dpmhbp import DPMHBP
+from ..core.hbp import fit_hbp
+from ..core.ranking.evolutionary import EvolutionStrategy
+from ..core.ranking.objective import empirical_auc
+
+Benchmark = Callable[[], Callable[[], Any]]
+
+
+def _failure_matrix(n: int = 2000, years: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    p = rng.choice([0.001, 0.01, 0.05], size=n, p=[0.7, 0.2, 0.1])
+    return (rng.random((n, years)) < p[:, None]).astype(np.int8)
+
+
+def make_dpmhbp_sweeps() -> Callable[[], Any]:
+    """Five DPMHBP sweeps over 2k segments (includes CRP reseating)."""
+    failures = _failure_matrix()
+    features = np.random.default_rng(1).standard_normal((failures.shape[0], 20))
+    return lambda: DPMHBP(n_sweeps=5, burn_in=1, seed=0).fit(failures, features)
+
+
+def make_hbp_sweeps() -> Callable[[], Any]:
+    """Fifty HBP sweeps over 2k units with 8 groups."""
+    failures = _failure_matrix()
+    groups = np.arange(failures.shape[0]) % 8
+    return lambda: fit_hbp(failures, groups, n_sweeps=50, burn_in=10, seed=0)
+
+
+def make_crp_partition() -> Callable[[], Any]:
+    """Sequential CRP seating of 5k customers."""
+
+    def run() -> np.ndarray:
+        return sample_partition(5000, 3.0, np.random.default_rng(0))
+
+    return run
+
+
+def make_empirical_auc() -> Callable[[], Any]:
+    """Exact AUC on 100k scores (rank-sum path)."""
+    rng = np.random.default_rng(0)
+    scores = rng.standard_normal(100_000)
+    labels = (rng.random(100_000) < 0.01).astype(float)
+    labels[0] = 1.0
+    return lambda: empirical_auc(scores, labels)
+
+
+def make_es_generation() -> Callable[[], Any]:
+    """One ES generation (40 evaluations) on a 30-dim AUC-like objective."""
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((2000, 30))
+    y = (rng.random(2000) < 0.05).astype(float)
+    y[0] = 1.0
+
+    def run():
+        es = EvolutionStrategy(generations=1, population=40, seed=0)
+        return es.maximise(lambda w: empirical_auc(X @ w, y), dim=30)
+
+    return run
+
+
+#: Registry consumed by ``repro.perf.run_benchmarks`` — name → factory.
+BENCHMARKS: dict[str, Benchmark] = {
+    "dpmhbp_sweeps": make_dpmhbp_sweeps,
+    "hbp_sweeps": make_hbp_sweeps,
+    "crp_partition": make_crp_partition,
+    "empirical_auc": make_empirical_auc,
+    "es_generation": make_es_generation,
+}

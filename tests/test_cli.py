@@ -22,6 +22,18 @@ class TestParser:
         args = build_parser().parse_args(["plan", "--budget", "0.02"])
         assert args.budget == 0.02
 
+    def test_jobs_and_executor_flags(self):
+        args = build_parser().parse_args(["summary", "--jobs", "4", "--executor", "threads"])
+        assert args.jobs == 4
+        assert args.executor == "threads"
+        # Unset by default so env/serial resolution applies downstream.
+        defaults = build_parser().parse_args(["summary"])
+        assert defaults.jobs is None and defaults.executor is None
+
+    def test_executor_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summary", "--executor", "gpu"])
+
 
 class TestCommands:
     def test_summary_runs(self, capsys):

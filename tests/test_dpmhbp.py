@@ -59,6 +59,27 @@ class TestSampler:
         )
         assert post.rho_mean.shape == (100,)
 
+    def test_init_labels_with_gaps_compacted(self, rng):
+        """Non-contiguous init labels must be relabelled, not patched by
+        mutating a random segment's assignment (the old empty-cluster
+        hazard): every cluster in the final state has at least one member."""
+        failures, features, truth = clustered_data(rng, n_per=40)
+        gappy = np.where(truth == 0, 0, 5)  # labels {0, 5}, clusters 1-4 empty
+        post = DPMHBP(n_sweeps=8, burn_in=2, seed=11).fit(
+            failures, features, init_labels=gappy
+        )
+        assert np.array_equal(
+            np.unique(post.last_assignments), np.arange(post.last_q.size)
+        )
+
+    def test_no_empty_clusters_after_fit(self, rng):
+        failures, features, _ = clustered_data(rng, n_per=50)
+        for seed in (0, 1, 2, 3):
+            post = DPMHBP(n_sweeps=12, burn_in=4, seed=seed).fit(failures, features)
+            assert np.array_equal(
+                np.unique(post.last_assignments), np.arange(post.last_q.size)
+            )
+
     def test_init_labels_validation(self, rng):
         failures, features, _ = clustered_data(rng, n_per=20)
         with pytest.raises(ValueError):

@@ -1,0 +1,179 @@
+"""Parallel execution layer: config resolution, caching, and the core
+guarantee — serial, threaded and multi-process execution are bit-identical
+for fixed seeds, both for DPMHBP chains and for ``run_comparison`` cells."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpmhbp import DPMHBPModel
+from repro.core.survival_models import CoxPHModel
+from repro.eval.experiment import prepare_region_data, run_comparison
+from repro.parallel import (
+    ExecutorConfig,
+    cached_model_data,
+    clear_model_data_cache,
+    parallel_map,
+    resolve_executor,
+)
+
+EXECUTORS = ("serial", "threads", "processes")
+
+
+def _square(x):
+    """Module-level so process pools can pickle it."""
+    return x * x
+
+
+def _light_models(seed):
+    """Module-level model factory for process-executor comparison runs."""
+    return [
+        DPMHBPModel(seed=seed, n_sweeps=8, burn_in=3, n_chains=1),
+        CoxPHModel(),
+    ]
+
+
+class TestExecutorConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(mode="gpu")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(jobs=0)
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        config = resolve_executor()
+        assert config.is_serial
+
+    def test_env_jobs_implies_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        config = resolve_executor()
+        assert config.mode == "threads"
+        assert config.jobs == 3
+
+    def test_env_mode_aliases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        config = resolve_executor()
+        assert config.mode == "processes"
+        assert config.jobs >= 1
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads")
+        config = resolve_executor(jobs=2, mode="serial")
+        assert config == ExecutorConfig(mode="serial", jobs=2)
+
+    def test_bad_env_values_raise(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "two")
+        with pytest.raises(ValueError):
+            resolve_executor()
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setenv("REPRO_EXECUTOR", "quantum")
+        with pytest.raises(ValueError):
+            resolve_executor()
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("mode", EXECUTORS)
+    def test_order_preserved(self, mode):
+        config = ExecutorConfig(mode=mode, jobs=2) if mode != "serial" else ExecutorConfig()
+        assert parallel_map(_square, range(9), config) == [x * x for x in range(9)]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], ExecutorConfig(mode="threads", jobs=2)) == []
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(lambda x: 1 // x, [1, 0], ExecutorConfig(mode="threads", jobs=2))
+
+
+class TestRegionCache:
+    def test_same_key_same_object(self):
+        clear_model_data_cache()
+        a = cached_model_data("A", scale=0.05, seed=9)
+        b = cached_model_data("A", scale=0.05, seed=9)
+        assert a is b
+
+    def test_seed_in_key(self):
+        a = cached_model_data("A", scale=0.05, seed=9)
+        b = cached_model_data("A", scale=0.05, seed=10)
+        assert a is not b
+
+    def test_prepare_region_data_uses_cache(self):
+        a = prepare_region_data("A", scale=0.05, seed=9)
+        b = prepare_region_data("A", scale=0.05, seed=9)
+        assert a is b
+
+    def test_clear(self):
+        a = cached_model_data("A", scale=0.05, seed=9)
+        clear_model_data_cache()
+        assert cached_model_data("A", scale=0.05, seed=9) is not a
+
+
+class TestChainDeterminism:
+    """DPMHBP chains must not depend on how they were scheduled."""
+
+    @pytest.fixture(scope="class")
+    def fits(self, small_model_data):
+        results = {}
+        for mode in EXECUTORS:
+            model = DPMHBPModel(
+                n_sweeps=10, burn_in=3, seed=0, n_chains=2, jobs=2, executor=mode
+            )
+            results[mode] = model.fit(small_model_data)
+        return results
+
+    @pytest.mark.parametrize("mode", ["threads", "processes"])
+    def test_identical_to_serial(self, fits, mode):
+        serial, parallel = fits["serial"], fits[mode]
+        assert np.array_equal(serial.posterior_.rho_mean, parallel.posterior_.rho_mean)
+        assert np.array_equal(serial.posterior_.rho_std, parallel.posterior_.rho_std)
+        for chain_s, chain_p in zip(serial.chain_posteriors_, parallel.chain_posteriors_):
+            assert np.array_equal(chain_s.rho_mean, chain_p.rho_mean)
+            assert np.array_equal(chain_s.last_assignments, chain_p.last_assignments)
+
+
+class TestComparisonDeterminism:
+    """run_comparison cells must not depend on how they were scheduled."""
+
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        results = {}
+        for mode in EXECUTORS:
+            results[mode] = run_comparison(
+                regions=("A", "B"),
+                n_repeats=2,
+                scale=0.08,
+                models_factory=_light_models,
+                jobs=2,
+                executor=mode,
+            )
+        return results
+
+    @pytest.mark.parametrize("mode", ["threads", "processes"])
+    def test_identical_to_serial(self, comparisons, mode):
+        serial, parallel = comparisons["serial"], comparisons[mode]
+        assert serial.regions == parallel.regions
+        for region in serial.regions:
+            for model in serial.model_names():
+                assert np.array_equal(
+                    serial.auc_samples(region, model),
+                    parallel.auc_samples(region, model),
+                )
+                assert np.array_equal(
+                    serial.budget_samples(region, model),
+                    parallel.budget_samples(region, model),
+                )
+
+    def test_rho_identical_across_executors(self, comparisons):
+        """Raw DPMHBP scores (not just AUC) match bit-for-bit."""
+        serial_run = comparisons["serial"].runs["A"][0]
+        for mode in ("threads", "processes"):
+            parallel_run = comparisons[mode].runs["A"][0]
+            assert np.array_equal(
+                serial_run.evaluations["DPMHBP"].scores,
+                parallel_run.evaluations["DPMHBP"].scores,
+            )
