@@ -1,12 +1,21 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-save bench-compare perfcheck report examples clean
+.PHONY: install test lint bench bench-save bench-compare perfcheck report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/ -q
+
+# Static checks. Skips gracefully where ruff isn't installed (the
+# air-gapped reproduction image); CI installs it and enforces.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -37,6 +37,9 @@ from .core import (
 from .core.hbp import HBPBestModel
 from .data import load_region, load_wastewater_region
 from .eval import (
+    ComparisonResult,
+    NoTestFailuresError,
+    RegionRun,
     default_models,
     detection_curve,
     evaluate_models,
@@ -46,8 +49,9 @@ from .eval import (
 )
 from .features import FeatureConfig, ModelData, build_model_data
 from .physical import PhysicalConditionModel
+from .runs import CellSpec, FaultInjector, FaultSpec, RunJournal, RunPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AUCRankingModel",
@@ -67,9 +71,17 @@ __all__ = [
     "paired_t_test",
     "prepare_region_data",
     "run_comparison",
+    "ComparisonResult",
+    "NoTestFailuresError",
+    "RegionRun",
     "FeatureConfig",
     "ModelData",
     "build_model_data",
     "PhysicalConditionModel",
+    "CellSpec",
+    "FaultInjector",
+    "FaultSpec",
+    "RunJournal",
+    "RunPolicy",
     "__version__",
 ]

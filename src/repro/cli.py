@@ -4,14 +4,20 @@ Commands
 --------
 ``summary``    regenerate the Table 18.1 data summary for the synthetic regions
 ``compare``    fit the full model line-up on one region and print the AUC table
+``grid``       the repeated Table 18.3/18.4 grid — journalled, resumable
 ``riskmap``    fit DPMHBP and write a Fig. 18.9-style SVG risk map
 ``plan``       produce a budget-constrained inspection plan with economics
 
-All commands accept ``--scale`` (fraction of paper-scale data, default
-from ``REPRO_SCALE``/0.25), ``--seed``, and the parallelism knobs
-``--jobs N`` / ``--executor {serial,threads,processes}`` (exported as
+Every command shares one parent parser (so flags are declared once):
+``--scale`` (fraction of paper-scale data, default from
+``REPRO_SCALE``/0.25), ``--seed``, the parallelism knobs ``--jobs N`` /
+``--executor {serial,threads,processes}`` (exported as
 ``REPRO_JOBS``/``REPRO_EXECUTOR`` so every fan-out point — DPMHBP chains,
-comparison cells — picks them up; results are identical at any setting).
+comparison cells — picks them up; results are identical at any setting),
+and the run-control knobs ``--run-dir`` / ``--resume`` / ``--on-error`` /
+``--retries`` / ``--cell-timeout`` consumed by ``grid`` (see
+:mod:`repro.runs` — a killed grid resumed with ``--resume`` is
+bit-identical to an uninterrupted one).
 """
 
 from __future__ import annotations
@@ -42,10 +48,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         data, default_models(seed=0, fast=not args.full), region=args.region
     )
     rows = [
-        [name, f"{100 * ev.auc:.2f}%", f"{ev.auc_budget_permyriad:.2f}"]
-        for name, ev in sorted(run.evaluations.items(), key=lambda kv: -kv[1].auc)
+        [ev.model_name, f"{100 * ev.auc:.2f}%", f"{ev.auc_budget_permyriad:.2f}"]
+        for ev in run.ranked()
     ]
     print(format_table(["Model", "AUC(100%)", "AUC(1%) [per-10k]"], rows))
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .eval.experiment import run_comparison
+    from .eval.reporting import table_18_3, table_18_4
+
+    if args.resume and args.run_dir:
+        print("use either --run-dir (fresh) or --resume (continue), not both",
+              file=sys.stderr)
+        return 2
+    result = run_comparison(
+        regions=tuple(args.regions),
+        n_repeats=args.repeats,
+        scale=args.scale,
+        base_seed=args.seed or 0,
+        fast=not args.full,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        on_error=args.on_error,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+    )
+    print(table_18_3(result))
+    if args.repeats >= 2:
+        print()
+        print(table_18_4(result))
+    if result.failures:
+        print(
+            f"\n{len(result.failures)} cell(s) failed and were skipped: "
+            + ", ".join(sorted(o.spec.cell_id for o in result.failures)),
+            file=sys.stderr,
+        )
+    if result.run_dir:
+        print(f"\nrun journal: {result.run_dir} (resume with --resume {result.run_dir})")
     return 0
 
 
@@ -85,46 +126,93 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parent_parser() -> argparse.ArgumentParser:
+    """The flags every subcommand shares, declared exactly once.
+
+    ``add_help=False`` because this parser only ever rides along in
+    ``parents=[...]`` — subparsers add their own ``-h``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scale", type=float, default=None)
+    parent.add_argument("--seed", type=int, default=None)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel fan-out (default: REPRO_JOBS or serial)",
+    )
+    parent.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="execution backend (default: REPRO_EXECUTOR, or threads when --jobs > 1)",
+    )
+    run = parent.add_argument_group("run control (grid)")
+    run.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        help="journal the run here: manifest + event log + per-cell checkpoints",
+    )
+    run.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        help="continue a journalled run; finished cells load bit-identically",
+    )
+    run.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "retry"],
+        default="raise",
+        help="failing-cell policy (retry reseeds degenerate regions)",
+    )
+    run.add_argument(
+        "--retries", type=int, default=2, help="extra attempts per cell under retry"
+    )
+    run.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="soft per-cell timeout in seconds",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    parent = _parent_parser()
 
-    def common(p: argparse.ArgumentParser, region: bool = True) -> None:
-        p.add_argument("--scale", type=float, default=None)
-        p.add_argument("--seed", type=int, default=None)
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=None,
-            help="worker count for parallel fan-out (default: REPRO_JOBS or serial)",
-        )
-        p.add_argument(
-            "--executor",
-            choices=["serial", "threads", "processes"],
-            default=None,
-            help="execution backend (default: REPRO_EXECUTOR, or threads when --jobs > 1)",
-        )
-        if region:
-            p.add_argument("--region", default="A", choices=["A", "B", "C"])
+    def region_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--region", default="A", choices=["A", "B", "C"])
 
-    p = sub.add_parser("summary", help="Table 18.1 data summary")
-    common(p, region=False)
+    p = sub.add_parser("summary", parents=[parent], help="Table 18.1 data summary")
     p.add_argument("--regions", nargs="+", default=["A", "B", "C"])
     p.set_defaults(func=_cmd_summary)
 
-    p = sub.add_parser("compare", help="model comparison on one region")
-    common(p)
+    p = sub.add_parser("compare", parents=[parent], help="model comparison on one region")
+    region_flag(p)
     p.add_argument("--full", action="store_true", help="full-length MCMC runs")
     p.set_defaults(func=_cmd_compare)
 
-    p = sub.add_parser("riskmap", help="write an SVG risk map")
-    common(p)
+    p = sub.add_parser(
+        "grid",
+        parents=[parent],
+        help="repeated Table 18.3/18.4 grid (journalled, resumable)",
+    )
+    p.add_argument("--regions", nargs="+", default=["A", "B", "C"], choices=["A", "B", "C"])
+    p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--full", action="store_true", help="full-length MCMC runs")
+    p.set_defaults(func=_cmd_grid)
+
+    p = sub.add_parser("riskmap", parents=[parent], help="write an SVG risk map")
+    region_flag(p)
     p.add_argument("--out", type=Path, default=None)
     p.add_argument("--sweeps", type=int, default=40)
     p.set_defaults(func=_cmd_riskmap)
 
-    p = sub.add_parser("plan", help="budget-constrained inspection plan")
-    common(p)
+    p = sub.add_parser("plan", parents=[parent], help="budget-constrained inspection plan")
+    region_flag(p)
     p.add_argument("--budget", type=float, default=0.01)
     p.add_argument("--sweeps", type=int, default=40)
     p.set_defaults(func=_cmd_plan)

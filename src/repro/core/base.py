@@ -11,6 +11,7 @@ not).
 from __future__ import annotations
 
 import abc
+import dataclasses
 
 import numpy as np
 
@@ -34,6 +35,29 @@ class FailureModel(abc.ABC):
     def fit_predict(self, data: ModelData) -> np.ndarray:
         """Convenience: ``fit(data).predict_pipe_risk(data)``."""
         return self.fit(data).predict_pipe_risk(data)
+
+    def get_params(self) -> dict:
+        """Configuration parameters that define this model, as plain data.
+
+        The contract behind the run journal's config fingerprint: two
+        models with equal ``(type(m).__name__, m.get_params())`` must
+        produce bit-identical scores on the same :class:`ModelData`.
+        Fitted state is excluded — by convention that is every attribute
+        whose name starts or ends with an underscore (``posterior_``,
+        ``_factor``, …). The default implementation covers the dataclass
+        models; override only if a model holds configuration elsewhere.
+        """
+        if dataclasses.is_dataclass(self):
+            pairs = (
+                (f.name, getattr(self, f.name)) for f in dataclasses.fields(self)
+            )
+        else:
+            pairs = vars(self).items()
+        return {
+            name: value
+            for name, value in pairs
+            if not name.startswith("_") and not name.endswith("_")
+        }
 
 
 def ranking_features(

@@ -41,8 +41,13 @@ conjugate Gaussian block updates every cluster mean in one batch.
 
 from __future__ import annotations
 
+import io
 import math
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 from scipy.special import betaln
@@ -81,6 +86,58 @@ class DPMHBPPosterior:
         lo = np.clip(self.rho_mean - z * self.rho_std, 0.0, 1.0)
         hi = np.clip(self.rho_mean + z * self.rho_std, 0.0, 1.0)
         return lo, hi
+
+    def save(self, path: str | Path) -> Path:
+        """Checkpoint this posterior to an ``.npz``, atomically.
+
+        The temp-file + ``os.replace`` dance means a killed process leaves
+        either the previous checkpoint or none — never a torn file that
+        :meth:`load` would half-read.
+        """
+        path = Path(path)
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            rho_mean=self.rho_mean,
+            rho_std=self.rho_std,
+            n_clusters_trace=self.n_clusters_trace,
+            last_assignments=self.last_assignments,
+            last_q=self.last_q,
+            accept_rate_q=np.asarray(self.accept_rate_q),
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DPMHBPPosterior":
+        """Restore a posterior checkpoint written by :meth:`save`.
+
+        Raises ``ValueError`` on a truncated/corrupt or wrong-format file,
+        so callers can fall back to refitting the chain.
+        """
+        try:
+            with np.load(Path(path)) as arrays:
+                return cls(
+                    rho_mean=arrays["rho_mean"],
+                    rho_std=arrays["rho_std"],
+                    n_clusters_trace=arrays["n_clusters_trace"],
+                    last_assignments=arrays["last_assignments"],
+                    last_q=arrays["last_q"],
+                    accept_rate_q=float(arrays["accept_rate_q"]),
+                )
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+            raise ValueError(f"corrupt DPMHBP chain checkpoint {path}: {exc}") from exc
 
 
 class _ClusterState:
@@ -383,9 +440,23 @@ class DPMHBP:
 
 
 def _fit_dpmhbp_chain(task: tuple) -> DPMHBPPosterior:
-    """Run one chain of the sampler (module-level so processes can pickle it)."""
-    sampler, failures, features, init = task
-    return sampler.fit(failures, features, init_labels=init)
+    """Run one chain of the sampler (module-level so processes can pickle it).
+
+    With a checkpoint path, the chain restores a valid prior checkpoint
+    instead of re-sampling (bit-identical — the checkpoint *is* the chain's
+    result), and saves its posterior atomically after a fresh fit; corrupt
+    checkpoints are discarded and refit.
+    """
+    sampler, failures, features, init, ckpt_path = task
+    if ckpt_path is not None and Path(ckpt_path).exists():
+        try:
+            return DPMHBPPosterior.load(ckpt_path)
+        except ValueError:
+            pass  # corrupt/stale checkpoint: refit and overwrite below
+    posterior = sampler.fit(failures, features, init_labels=init)
+    if ckpt_path is not None:
+        posterior.save(ckpt_path)
+    return posterior
 
 
 @dataclass
@@ -417,6 +488,10 @@ class DPMHBPModel(FailureModel):
     seed: int = 0
     jobs: int | None = None
     executor: str | None = None
+    #: Directory for per-chain posterior checkpoints (``chain_<i>.npz``).
+    #: A refit with the same configuration restores finished chains instead
+    #: of re-sampling them — the chain-level resume a killed cell relies on.
+    checkpoint_dir: str | None = None
     posterior_: DPMHBPPosterior | None = field(default=None, repr=False)
     chain_posteriors_: list[DPMHBPPosterior] = field(default_factory=list, repr=False)
     _factor: np.ndarray | None = field(default=None, repr=False)
@@ -447,6 +522,11 @@ class DPMHBPModel(FailureModel):
                 data.seg_fail_train,
                 features,
                 init,
+                (
+                    str(Path(self.checkpoint_dir) / f"chain_{chain}.npz")
+                    if self.checkpoint_dir is not None
+                    else None
+                ),
             )
             for chain in range(self.n_chains)
         ]

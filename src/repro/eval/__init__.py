@@ -5,6 +5,7 @@ from .experiment import (
     PAPER_MODELS,
     ComparisonResult,
     ModelEvaluation,
+    NoTestFailuresError,
     RegionRun,
     default_models,
     evaluate_models,
@@ -38,6 +39,7 @@ __all__ = [
     "PAPER_MODELS",
     "ComparisonResult",
     "ModelEvaluation",
+    "NoTestFailuresError",
     "RegionRun",
     "default_models",
     "evaluate_models",

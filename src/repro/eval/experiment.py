@@ -10,7 +10,9 @@ refits every model on it, giving paired per-repeat AUC samples).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -22,7 +24,11 @@ from ..core.ranking.model import AUCRankingModel, SVMRankingModel
 from ..core.survival_models import CoxPHModel, WeibullModel
 from ..features.builder import FeatureConfig, ModelData
 from ..network.pipe import PipeClass
-from ..parallel import cached_model_data, parallel_map, resolve_executor
+from ..parallel import cached_model_data, resolve_executor, safe_parallel_map
+from ..runs.engine import CellExecutionError, CellOutcome, RunPolicy, execute_cell
+from ..runs.faults import FaultInjector
+from ..runs.journal import RunJournal
+from ..runs.spec import CellSpec
 from .metrics import DetectionCurve, auc_at_budget, detection_curve, empirical_auc, permyriad
 from .significance import TTestResult, paired_t_test
 
@@ -77,6 +83,22 @@ class RegionRun:
     def auc_budget(self, model_name: str) -> float:
         return self.evaluations[model_name].auc_budget_permyriad
 
+    def ranked(self, metric: str = "auc") -> list[ModelEvaluation]:
+        """Evaluations best-first by ``metric`` (``"auc"`` or ``"budget"``).
+
+        Prefer this over iterating ``run.evaluations`` when order matters:
+        the dict preserves *fit* order (the line-up's), which is a
+        deprecated thing to rely on for presentation.
+        """
+        if metric not in ("auc", "budget"):
+            raise ValueError(f"metric must be 'auc' or 'budget', got {metric!r}")
+        key = (
+            (lambda ev: ev.auc)
+            if metric == "auc"
+            else (lambda ev: ev.auc_budget_permyriad)
+        )
+        return sorted(self.evaluations.values(), key=key, reverse=True)
+
 
 def prepare_region_data(
     region: str,
@@ -101,6 +123,15 @@ def prepare_region_data(
     )
 
 
+class NoTestFailuresError(ValueError):
+    """A generated region has no test-year failures, so AUC is undefined.
+
+    The known degenerate mode of small-scale generation; under
+    ``on_error="retry"`` the grid engine handles it by retrying the cell
+    with a deterministically reseeded region (:meth:`CellSpec.reseeded`).
+    """
+
+
 def evaluate_models(
     data: ModelData,
     models: Sequence[FailureModel],
@@ -111,7 +142,7 @@ def evaluate_models(
     """Fit and score every model on one prepared region."""
     labels = data.pipe_fail_test
     if labels.sum() == 0:
-        raise ValueError(
+        raise NoTestFailuresError(
             f"region {region!r} (seed {seed}) has no test-year failures; "
             "increase the scale or use another seed"
         )
@@ -132,9 +163,16 @@ def evaluate_models(
 
 @dataclass
 class ComparisonResult:
-    """Repeated-evaluation results over regions × models × seeds."""
+    """Repeated-evaluation results over regions × models × seeds.
+
+    ``failures`` holds the outcome envelopes of cells that were skipped or
+    exhausted their retries (empty for a clean or ``on_error="raise"``
+    run); ``run_dir`` points at the journal when the run was journalled.
+    """
 
     runs: dict[str, list[RegionRun]]  # region -> one RegionRun per repeat
+    failures: list["CellOutcome"] = field(default_factory=list)
+    run_dir: str | None = None
 
     @property
     def regions(self) -> list[str]:
@@ -166,21 +204,67 @@ class ComparisonResult:
         return paired_t_test(samples(region, model_a), samples(region, model_b))
 
 
-def _comparison_cell(task: tuple) -> RegionRun:
+def _comparison_cell(task: CellSpec | tuple) -> RegionRun:
     """Evaluate one independent (region, repeat) cell.
 
     Module-level (not a closure) so process pools can pickle it. The cell
     carries everything it needs; each worker regenerates / fetches its
     region from the cache and fits a fresh model line-up, so cells are
     independent and their results depend only on the seeds they carry.
+
+    Accepts a :class:`CellSpec` (the canonical form) or the legacy
+    positional 8-tuple, which old pickled call sites may still ship.
     """
-    region, repeat, seed, scale, budget, fast, feature_config, models_factory = task
+    spec = CellSpec.from_task(task)
     data = prepare_region_data(
-        region, seed=seed, scale=scale, feature_config=feature_config
+        spec.region, seed=spec.seed, scale=spec.scale, feature_config=spec.feature_config
     )
+    factory = spec.models_factory or (lambda s: default_models(seed=s, fast=spec.fast))
+    models = factory(spec.repeat)
+    return evaluate_models(
+        data, models, budget=spec.budget, region=spec.region, seed=spec.seed or 0
+    )
+
+
+def _grid_config(
+    regions: Sequence[str],
+    n_repeats: int,
+    scale: float | None,
+    models_factory: ModelFactory | None,
+    budget: float,
+    base_seed: int,
+    fast: bool,
+    feature_config: FeatureConfig | None,
+) -> dict:
+    """The journal's config fingerprint payload: everything that shapes results.
+
+    The model line-up is fingerprinted through the :meth:`FailureModel.get_params`
+    contract on a throwaway ``factory(0)`` instantiation (cheap — dataclass
+    construction only), so a resumed run with a silently changed line-up is
+    rejected instead of producing a half-and-half grid.
+    """
     factory = models_factory or (lambda s: default_models(seed=s, fast=fast))
-    models = factory(repeat)
-    return evaluate_models(data, models, budget=budget, region=region, seed=seed or 0)
+    line_up = [
+        {"type": type(m).__name__, "name": m.name, "params": m.get_params()}
+        for m in factory(0)
+    ]
+    return {
+        "protocol": "table_18_3/18_4",
+        "regions": list(regions),
+        "n_repeats": n_repeats,
+        "scale": scale,
+        "budget": budget,
+        "base_seed": base_seed,
+        "fast": fast,
+        "feature_config": asdict(feature_config) if feature_config is not None else None,
+        "models_factory": (
+            f"{getattr(models_factory, '__module__', '?')}."
+            f"{getattr(models_factory, '__qualname__', repr(models_factory))}"
+            if models_factory is not None
+            else None
+        ),
+        "models": line_up,
+    }
 
 
 def run_comparison(
@@ -194,8 +278,14 @@ def run_comparison(
     feature_config: FeatureConfig | None = None,
     jobs: int | None = None,
     executor: str | None = None,
+    run_dir: str | Path | None = None,
+    resume: str | Path | None = None,
+    on_error: str = "raise",
+    retries: int = 2,
+    cell_timeout: float | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> ComparisonResult:
-    """The full Table 18.3/18.4 experiment.
+    """The full Table 18.3/18.4 experiment — fault-tolerant and resumable.
 
     Each repeat regenerates every region with seed ``base_seed + repeat``
     (repeat 0 uses the region's canonical seed) and refits all models, so
@@ -206,25 +296,113 @@ def run_comparison(
     ``REPRO_JOBS``/``REPRO_EXECUTOR`` environment variables); results are
     bit-identical to a serial run. With a process executor, a custom
     ``models_factory`` must be picklable (a module-level function).
+
+    Fault tolerance (see :mod:`repro.runs`):
+
+    * ``run_dir`` — journal the run there: a config-fingerprinted manifest,
+      a JSONL event log, and an atomic checkpoint per completed cell,
+      written from inside the worker so a killed process loses only its
+      in-flight cells.
+    * ``resume`` — continue a journalled run: finished cells are loaded
+      from their checkpoints *bit-identically* (corrupt ones recompute);
+      the configuration must fingerprint-match the manifest.
+    * ``on_error`` — ``"raise"`` (default, old behaviour) aborts the grid
+      on the first failed cell; ``"skip"`` drops failing cells into
+      ``result.failures`` and keeps going; ``"retry"`` gives each cell
+      ``retries`` extra attempts — same seed for transient faults, a
+      deterministically reseeded region for
+      :class:`NoTestFailuresError` — then skips.
+    * ``cell_timeout`` — soft per-cell seconds budget; an overrunning cell
+      counts as failed under ``on_error``.
+    * ``fault_injector`` — test hook to kill/stall chosen cells
+      (:class:`repro.runs.FaultInjector`).
     """
     if n_repeats < 1:
         raise ValueError("need at least one repeat")
-    cells = [
-        (
-            region,
-            repeat,
-            None if repeat == 0 else base_seed + 1000 + repeat,
-            scale,
-            budget,
-            fast,
-            feature_config,
-            models_factory,
+    policy = RunPolicy(
+        on_error=on_error,
+        retries=retries,
+        cell_timeout=cell_timeout,
+        fault_injector=fault_injector,
+    )
+    specs = [
+        CellSpec(
+            region=region,
+            repeat=repeat,
+            seed=None if repeat == 0 else base_seed + 1000 + repeat,
+            scale=scale,
+            budget=budget,
+            fast=fast,
+            feature_config=feature_config,
+            models_factory=models_factory,
         )
         for repeat in range(n_repeats)
         for region in regions
     ]
-    results = parallel_map(_comparison_cell, cells, resolve_executor(jobs, executor))
-    runs: dict[str, list[RegionRun]] = {r: [] for r in regions}
-    for cell_run in results:  # cells are repeat-major, so repeats stay ordered
-        runs[cell_run.region].append(cell_run)
-    return ComparisonResult(runs=runs)
+
+    config = _grid_config(
+        regions, n_repeats, scale, models_factory, budget, base_seed, fast, feature_config
+    )
+    journal: RunJournal | None = None
+    if resume is not None:
+        journal = RunJournal.open(resume)
+        journal.check_config(config)
+    elif run_dir is not None:
+        journal = RunJournal.create(run_dir, config)
+
+    restored: dict[str, RegionRun] = (
+        journal.load_completed(specs) if journal is not None else {}
+    )
+    pending = [spec for spec in specs if spec.cell_id not in restored]
+    if journal is not None:
+        journal.log_event(
+            "run_started",
+            n_cells=len(specs),
+            n_restored=len(restored),
+            on_error=on_error,
+        )
+
+    journal_dir = str(journal.run_dir) if journal is not None else None
+    tasks = [(spec, _comparison_cell, journal_dir, policy) for spec in pending]
+    envelopes = safe_parallel_map(execute_cell, tasks, resolve_executor(jobs, executor))
+    # Envelope errors are infrastructure failures (unpicklable factory, dead
+    # journal directory, …) — never cell failures, which execute_cell already
+    # captures — so they always raise, regardless of on_error.
+    outcomes = [envelope.unwrap() for envelope in envelopes]
+
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures and on_error == "raise":
+        if journal is not None:
+            journal.log_event("run_aborted", failed=failures[0].spec.cell_id)
+        raise CellExecutionError(failures[0])
+
+    by_cell: dict[str, RegionRun] = dict(restored)
+    by_cell.update(
+        {spec.cell_id: outcome.run for spec, outcome in zip(pending, outcomes) if outcome.ok}
+    )
+    runs: dict[str, list[RegionRun]] = {region: [] for region in regions}
+    for spec in specs:  # specs are repeat-major, so repeats stay ordered
+        cell_run = by_cell.get(spec.cell_id)
+        if cell_run is not None:
+            runs[cell_run.region].append(cell_run)
+    empty = [region for region, region_runs in runs.items() if not region_runs]
+    for region in empty:
+        warnings.warn(
+            f"region {region!r}: every cell failed; dropping it from the result",
+            stacklevel=2,
+        )
+        del runs[region]
+    if not runs:
+        raise CellExecutionError(failures[0])
+    if failures:
+        warnings.warn(
+            f"{len(failures)} of {len(specs)} cells failed and were skipped "
+            f"({', '.join(sorted(o.spec.cell_id for o in failures))}); "
+            "see result.failures / the run journal for tracebacks",
+            stacklevel=2,
+        )
+    if journal is not None:
+        journal.log_event(
+            "run_completed", n_ok=sum(len(v) for v in runs.values()), n_failed=len(failures)
+        )
+    return ComparisonResult(runs=runs, failures=failures, run_dir=journal_dir)

@@ -12,12 +12,22 @@ across backends — parallelism changes wall-clock, never numbers.
 """
 
 from .cache import cached_model_data, clear_model_data_cache
-from .executor import ExecutorConfig, parallel_map, resolve_executor
+from .executor import (
+    ExecutorConfig,
+    WorkError,
+    WorkResult,
+    parallel_map,
+    resolve_executor,
+    safe_parallel_map,
+)
 
 __all__ = [
     "ExecutorConfig",
+    "WorkError",
+    "WorkResult",
     "parallel_map",
     "resolve_executor",
+    "safe_parallel_map",
     "cached_model_data",
     "clear_model_data_cache",
 ]

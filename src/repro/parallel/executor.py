@@ -22,9 +22,11 @@ three backends produce bit-identical results; the determinism tests in
 from __future__ import annotations
 
 import os
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -121,3 +123,79 @@ def parallel_map(
     pool_cls = ThreadPoolExecutor if config.mode == "threads" else ProcessPoolExecutor
     with pool_cls(max_workers=n_workers) as pool:
         return list(pool.map(fn, work))
+
+
+class WorkError(RuntimeError):
+    """Raised by :meth:`WorkResult.unwrap` for a captured worker failure."""
+
+
+@dataclass
+class WorkResult(Generic[R]):
+    """Envelope for one unit of mapped work: value or captured error.
+
+    Exceptions are carried as *strings* (type name + formatted traceback)
+    rather than live objects, so envelopes from process-pool workers are
+    always picklable regardless of what the worker raised.
+    """
+
+    index: int
+    value: R | None = None
+    error: str | None = None
+    error_type: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> R:
+        """The value, or :class:`WorkError` re-raising the captured failure."""
+        if self.error is not None:
+            raise WorkError(
+                f"work item {self.index} failed [{self.error_type}]:\n{self.error}"
+            )
+        return self.value  # type: ignore[return-value]
+
+
+class _EnvelopedCall(Generic[T, R]):
+    """Picklable wrapper that turns ``fn(item)`` into a :class:`WorkResult`.
+
+    A class (not a closure) so process pools can pickle it whenever ``fn``
+    itself is picklable.
+    """
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, indexed: tuple[int, T]) -> WorkResult[R]:
+        index, item = indexed
+        start = time.perf_counter()
+        try:
+            value = self.fn(item)
+        except Exception as exc:  # noqa: BLE001 — the envelope is the contract
+            return WorkResult(
+                index=index,
+                error="".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+                error_type=type(exc).__name__,
+                duration_s=time.perf_counter() - start,
+            )
+        return WorkResult(
+            index=index, value=value, duration_s=time.perf_counter() - start
+        )
+
+
+def safe_parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    config: ExecutorConfig | None = None,
+) -> list[WorkResult[R]]:
+    """:func:`parallel_map` with error-wrapping envelopes instead of bare raises.
+
+    Every item yields a :class:`WorkResult` in input order; a failing item
+    captures its exception (type name + traceback text) without aborting
+    its siblings. This is the fan-out primitive fault-tolerant callers
+    (the journalled experiment grid) build on.
+    """
+    return parallel_map(_EnvelopedCall(fn), list(enumerate(items)), config)

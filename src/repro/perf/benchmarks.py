@@ -1,9 +1,11 @@
-"""The five sampler benchmarks, as plain callables.
+"""The sampler benchmarks (plus the run-journal overhead probe), as plain callables.
 
-These mirror ``benchmarks/test_perf_samplers.py`` workload-for-workload —
-same sizes, same seeds — but need no pytest-benchmark, so the regression
-harness (``python -m repro.perf``) can run them in bare CI and write
-comparable medians into ``BENCH_<rev>.json`` snapshots.
+The five sampler workloads mirror ``benchmarks/test_perf_samplers.py``
+workload-for-workload — same sizes, same seeds — but need no
+pytest-benchmark, so the regression harness (``python -m repro.perf``) can
+run them in bare CI and write comparable medians into ``BENCH_<rev>.json``
+snapshots. ``run_journal`` times a full checkpoint round-trip so journal
+overhead is held inside the same bench-compare budget as the samplers.
 
 Each ``make_*`` factory performs its setup (data generation) once and
 returns the zero-argument callable to be timed, keeping setup cost out of
@@ -77,6 +79,47 @@ def make_es_generation() -> Callable[[], Any]:
     return run
 
 
+def make_run_journal() -> Callable[[], Any]:
+    """Checkpoint round-trip: save + validate + load 6 cells of 20k-pipe scores.
+
+    Bounds the per-cell journal overhead (npz serialisation, SHA-256
+    checksum, atomic rename, validated reload) that every journalled grid
+    pays on top of the model fits.
+    """
+    import tempfile
+
+    from ..eval.experiment import ModelEvaluation, RegionRun
+    from ..eval.metrics import empirical_auc as exact_auc
+    from ..runs import CellSpec, RunJournal
+
+    rng = np.random.default_rng(0)
+    n_pipes = 20_000
+    labels = (rng.random(n_pipes) < 0.01).astype(float)
+    lengths = rng.uniform(10.0, 500.0, n_pipes)
+    cells = []
+    for repeat in range(6):
+        run = RegionRun(region="A", seed=repeat, labels=labels, pipe_lengths=lengths)
+        for model in ("DPMHBP", "HBP", "Cox", "SVM", "Weibull", "AUC-Rank"):
+            scores = rng.standard_normal(n_pipes)
+            run.evaluations[model] = ModelEvaluation(
+                model_name=model,
+                scores=scores,
+                auc=exact_auc(scores, labels),
+                auc_budget_permyriad=0.0,
+            )
+        cells.append((CellSpec(region="A", repeat=repeat, seed=repeat), run))
+    tmp = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    journal = RunJournal.create(tmp, {"bench": "run_journal"})
+
+    def run_roundtrip() -> int:
+        for spec, cell_run in cells:
+            journal.save_cell(spec, cell_run)
+        loaded = journal.load_completed([spec for spec, _ in cells])
+        return len(loaded)
+
+    return run_roundtrip
+
+
 #: Registry consumed by ``repro.perf.run_benchmarks`` — name → factory.
 BENCHMARKS: dict[str, Benchmark] = {
     "dpmhbp_sweeps": make_dpmhbp_sweeps,
@@ -84,4 +127,5 @@ BENCHMARKS: dict[str, Benchmark] = {
     "crp_partition": make_crp_partition,
     "empirical_auc": make_empirical_auc,
     "es_generation": make_es_generation,
+    "run_journal": make_run_journal,
 }

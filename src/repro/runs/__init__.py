@@ -1,0 +1,64 @@
+"""Run journal + checkpoint subsystem: fault-tolerant, resumable grids.
+
+``repro.runs`` turns a grid experiment from "a script that must finish"
+into "an engine that survives": every :func:`repro.run_comparison`
+invocation can own a run directory whose :class:`RunJournal` records a
+config-fingerprinted manifest, an append-only JSONL event log, and an
+atomic per-cell checkpoint for every completed (region, repeat) cell. A
+re-invocation with ``resume=<run_dir>`` skips finished cells
+*bit-identically*; failing cells are isolated by :class:`RunPolicy`
+(``on_error="raise"/"skip"/"retry"``, bounded retries with a
+deterministically reseeded fallback for degenerate regions, soft per-cell
+timeouts); and :class:`FaultInjector` lets tests kill or stall chosen
+cells on purpose.
+
+Layering: this package owns identity (:class:`CellSpec`), persistence
+(:class:`RunJournal`), policy (:class:`RunPolicy`/:func:`execute_cell`)
+and faults; the experiment protocol itself stays in
+:mod:`repro.eval.experiment`.
+"""
+
+from .engine import (
+    ON_ERROR_MODES,
+    CellExecutionError,
+    CellOutcome,
+    RunPolicy,
+    execute_cell,
+)
+from .faults import (
+    FAULT_KINDS,
+    CellTimeoutError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    call_with_timeout,
+)
+from .journal import (
+    CheckpointCorruptError,
+    JournalError,
+    RunJournal,
+    config_fingerprint,
+    describe_run,
+)
+from .spec import RESEED_OFFSET, CellSpec
+
+__all__ = [
+    "ON_ERROR_MODES",
+    "CellExecutionError",
+    "CellOutcome",
+    "RunPolicy",
+    "execute_cell",
+    "FAULT_KINDS",
+    "CellTimeoutError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "call_with_timeout",
+    "CheckpointCorruptError",
+    "JournalError",
+    "RunJournal",
+    "config_fingerprint",
+    "describe_run",
+    "RESEED_OFFSET",
+    "CellSpec",
+]

@@ -34,6 +34,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["summary", "--executor", "gpu"])
 
+    def test_parent_flags_shared_by_every_subcommand(self):
+        """The parent parser declares the common flags once for all commands."""
+        for command in ("summary", "compare", "grid", "riskmap", "plan"):
+            args = build_parser().parse_args([command, "--jobs", "2", "--scale", "0.1"])
+            assert args.jobs == 2 and args.scale == 0.1
+            assert args.on_error == "raise"  # run-control flags ride along too
+
+    def test_grid_run_control_flags(self):
+        args = build_parser().parse_args(
+            [
+                "grid",
+                "--regions", "A", "B",
+                "--repeats", "4",
+                "--run-dir", "runs/exp1",
+                "--on-error", "retry",
+                "--retries", "1",
+                "--cell-timeout", "30",
+            ]
+        )
+        assert args.regions == ["A", "B"]
+        assert args.repeats == 4
+        assert str(args.run_dir) == "runs/exp1"
+        assert args.on_error == "retry"
+        assert args.retries == 1
+        assert args.cell_timeout == 30.0
+
+    def test_grid_on_error_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "--on-error", "explode"])
+
+    def test_grid_rejects_run_dir_plus_resume(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["grid", "--run-dir", str(tmp_path / "a"), "--resume", str(tmp_path / "b")]
+        )
+        assert code == 2
+
 
 class TestCommands:
     def test_summary_runs(self, capsys):

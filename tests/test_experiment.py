@@ -6,6 +6,7 @@ import pytest
 from repro.core.survival_models import CoxPHModel, TimeRateModel
 from repro.eval.experiment import (
     ComparisonResult,
+    NoTestFailuresError,
     evaluate_models,
     prepare_region_data,
     run_comparison,
@@ -47,8 +48,21 @@ class TestEvaluateModels:
 
         _, data = small_run
         dead = replace(data, pipe_fail_test=np.zeros(data.n_pipes))
-        with pytest.raises(ValueError):
+        # The dedicated subclass, still catchable as ValueError (old contract).
+        with pytest.raises(NoTestFailuresError):
             evaluate_models(dead, [CoxPHModel()], region="X")
+        assert issubclass(NoTestFailuresError, ValueError)
+
+    def test_ranked_orders_best_first(self, small_run):
+        run, _ = small_run
+        ranked = run.ranked()
+        assert [ev.auc for ev in ranked] == sorted(
+            (ev.auc for ev in run.evaluations.values()), reverse=True
+        )
+        by_budget = run.ranked(metric="budget")
+        assert by_budget[0].auc_budget_permyriad >= by_budget[-1].auc_budget_permyriad
+        with pytest.raises(ValueError):
+            run.ranked(metric="f1")
 
 
 class TestPrepareRegionData:

@@ -31,13 +31,14 @@ class TestTiming:
         with pytest.raises(ValueError):
             time_callable(lambda: None, rounds=0)
 
-    def test_registry_has_all_five_samplers(self):
+    def test_registry_covers_samplers_and_journal(self):
         assert set(BENCHMARKS) == {
             "dpmhbp_sweeps",
             "hbp_sweeps",
             "crp_partition",
             "empirical_auc",
             "es_generation",
+            "run_journal",
         }
 
     def test_unknown_benchmark_rejected(self):

@@ -1,6 +1,7 @@
 """The public API surface: everything advertised must import and be usable."""
 
 import inspect
+import json
 
 import pytest
 
@@ -53,3 +54,40 @@ class TestExports:
         names = [m.name for m in repro.default_models(fast=True)]
         for paper_model in ("DPMHBP", "HBP", "Cox", "SVM", "Weibull"):
             assert paper_model in names
+
+    def test_default_models_follow_paper_ordering(self):
+        """The line-up leads with PAPER_MODELS in table order (extensions after)."""
+        from repro.eval.experiment import PAPER_MODELS
+
+        names = [m.name for m in repro.default_models(fast=True)]
+        assert tuple(names[: len(PAPER_MODELS)]) == PAPER_MODELS
+
+    def test_runs_subsystem_exported(self):
+        import repro.runs
+
+        for name in repro.runs.__all__:
+            assert hasattr(repro.runs, name), f"repro.runs.{name} missing"
+        for name in ("CellSpec", "FaultInjector", "RunJournal", "RunPolicy"):
+            assert getattr(repro, name) is getattr(repro.runs, name)
+
+
+class TestGetParamsContract:
+    """``FailureModel.get_params``: plain-data config, no fitted state."""
+
+    def test_params_are_json_able_plain_data(self):
+        for model in repro.default_models(fast=True):
+            params = model.get_params()
+            json.dumps(params)  # must not raise
+            assert params["name"] == model.name
+
+    def test_fitted_state_excluded(self):
+        for model in repro.default_models(fast=True):
+            for key in model.get_params():
+                assert not key.startswith("_") and not key.endswith("_"), (
+                    f"{type(model).__name__}.get_params leaked fitted field {key!r}"
+                )
+
+    def test_params_reconstruct_an_equivalent_model(self):
+        for model in repro.default_models(fast=True):
+            clone = type(model)(**model.get_params())
+            assert clone.get_params() == model.get_params()
