@@ -5,8 +5,15 @@ Commands
 ``summary``    regenerate the Table 18.1 data summary for the synthetic regions
 ``compare``    fit the full model line-up on one region and print the AUC table
 ``grid``       the repeated Table 18.3/18.4 grid — journalled, resumable
+``status``     progress/timing/failure report over a journalled run directory
 ``riskmap``    fit DPMHBP and write a Fig. 18.9-style SVG risk map
 ``plan``       produce a budget-constrained inspection plan with economics
+
+Every command also takes ``--trace [PATH]`` (see :mod:`repro.telemetry`):
+spans, counters and gauges from the instrumented hot paths are collected
+and a where-the-time-went report is printed at exit; with a journalled
+``grid`` the trace lands in ``<run_dir>/trace.jsonl`` so ``repro status``
+can fold it into its report.
 
 Every command shares one parent parser (so flags are declared once):
 ``--scale`` (fraction of paper-scale data, default from
@@ -90,6 +97,20 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .runs.journal import JournalError
+    from .telemetry import format_status, run_status
+
+    try:
+        status = run_status(args.run_dir_pos)
+    except JournalError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_status(status, verbose=args.verbose))
+    counts = status.counts()
+    return 1 if counts["failed"] and status.finished else 0
+
+
 def _cmd_riskmap(args: argparse.Namespace) -> int:
     from .core.dpmhbp import DPMHBPModel
     from .data.datasets import load_region
@@ -146,6 +167,15 @@ def _parent_parser() -> argparse.ArgumentParser:
         choices=["serial", "threads", "processes"],
         default=None,
         help="execution backend (default: REPRO_EXECUTOR, or threads when --jobs > 1)",
+    )
+    parent.add_argument(
+        "--trace",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry; append a JSONL trace to PATH (default: the "
+        "run journal's trace.jsonl when journalled, else in-memory only)",
     )
     run = parent.add_argument_group("run control (grid)")
     run.add_argument(
@@ -205,6 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="full-length MCMC runs")
     p.set_defaults(func=_cmd_grid)
 
+    p = sub.add_parser(
+        "status",
+        parents=[parent],
+        help="progress/timing/failure report over a journalled run directory",
+    )
+    p.add_argument(
+        "run_dir_pos", metavar="run_dir", type=Path, help="a --run-dir/--resume directory"
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="list every cell, including untimed ones"
+    )
+    p.set_defaults(func=_cmd_status)
+
     p = sub.add_parser("riskmap", parents=[parent], help="write an SVG risk map")
     region_flag(p)
     p.add_argument("--out", type=Path, default=None)
@@ -228,6 +271,25 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if getattr(args, "executor", None) is not None:
         os.environ["REPRO_EXECUTOR"] = args.executor
+    trace = getattr(args, "trace", None)
+    if trace is not None and args.command != "status":
+        from . import telemetry
+
+        # "auto" binds to the run journal when one is in play (run_comparison
+        # does the binding, so resumed runs append to the same trace);
+        # otherwise telemetry stays in-memory and is reported at exit.
+        telemetry.configure(trace_path=None if trace == "auto" else trace)
+        try:
+            return args.func(args)
+        finally:
+            telemetry.flush()
+            recorder = telemetry.get_recorder()
+            report = telemetry.format_trace_report(telemetry.summarize_trace(recorder))
+            print(f"\n--- telemetry ({args.command}) ---", file=sys.stderr)
+            print(report, file=sys.stderr)
+            if recorder.trace_path is not None:
+                print(f"trace: {recorder.trace_path}", file=sys.stderr)
+            telemetry.disable()
     return args.func(args)
 
 

@@ -52,6 +52,7 @@ from pathlib import Path
 import numpy as np
 from scipy.special import betaln
 
+from .. import telemetry
 from ..bayes.distributions import beta_logpdf
 from ..features.builder import ModelData
 from ..inference.metropolis import AdaptiveScale, metropolis_probability_step
@@ -226,6 +227,21 @@ class DPMHBP:
         good seed shortens burn-in dramatically — the stationary
         distribution is unchanged.
         """
+        with telemetry.span(
+            "dpmhbp.fit", n_sweeps=self.n_sweeps, seed=self.seed
+        ):
+            posterior = self._fit(failures, features, init_labels)
+        telemetry.count("dpmhbp.fits")
+        telemetry.gauge("dpmhbp.accept_rate_q", posterior.accept_rate_q)
+        telemetry.gauge("dpmhbp.n_clusters", float(posterior.n_clusters_trace[-1]))
+        return posterior
+
+    def _fit(
+        self,
+        failures: np.ndarray,
+        features: np.ndarray | None,
+        init_labels: np.ndarray | None,
+    ) -> DPMHBPPosterior:
         failures = np.asarray(failures)
         if failures.ndim != 2:
             raise ValueError("failures must be (segments, years)")
@@ -418,6 +434,7 @@ class DPMHBP:
                 state.mu = [draws[k] for k in range(k_tot)]
 
             n_clusters_trace.append(state.k)
+            telemetry.count("dpmhbp.sweeps")
 
             # ---- Accumulate posterior mean ρ (collapsed conditional mean) ----
             if sweep >= self.burn_in:
@@ -450,10 +467,13 @@ def _fit_dpmhbp_chain(task: tuple) -> DPMHBPPosterior:
     sampler, failures, features, init, ckpt_path = task
     if ckpt_path is not None and Path(ckpt_path).exists():
         try:
-            return DPMHBPPosterior.load(ckpt_path)
+            restored = DPMHBPPosterior.load(ckpt_path)
+            telemetry.count("dpmhbp.chain.restored")
+            return restored
         except ValueError:
             pass  # corrupt/stale checkpoint: refit and overwrite below
-    posterior = sampler.fit(failures, features, init_labels=init)
+    with telemetry.span("dpmhbp.chain", seed=sampler.seed):
+        posterior = sampler.fit(failures, features, init_labels=init)
     if ckpt_path is not None:
         posterior.save(ckpt_path)
     return posterior

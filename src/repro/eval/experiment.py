@@ -17,6 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core.base import FailureModel
 from ..core.dpmhbp import DPMHBPModel
 from ..core.hbp import HBPBestModel
@@ -150,7 +151,9 @@ def evaluate_models(
         region=region, seed=seed, labels=labels, pipe_lengths=data.pipe_lengths
     )
     for model in models:
-        scores = model.fit_predict(data)
+        with telemetry.span("model.fit", model=model.name, region=region):
+            scores = model.fit_predict(data)
+        telemetry.count("models.fitted")
         run.evaluations[model.name] = ModelEvaluation(
             model_name=model.name,
             scores=scores,
@@ -350,6 +353,13 @@ def run_comparison(
     elif run_dir is not None:
         journal = RunJournal.create(run_dir, config)
 
+    # Traces live beside the journal so they resume with the run: an
+    # enabled-but-unbound recorder gets pointed at <run_dir>/trace.jsonl
+    # (also exported via REPRO_TRACE for process-pool workers).
+    recorder = telemetry.get_recorder()
+    if journal is not None and recorder.enabled and recorder.trace_path is None:
+        recorder.set_trace_path(Path(journal.run_dir) / telemetry.TRACE_NAME)
+
     restored: dict[str, RegionRun] = (
         journal.load_completed(specs) if journal is not None else {}
     )
@@ -364,7 +374,12 @@ def run_comparison(
 
     journal_dir = str(journal.run_dir) if journal is not None else None
     tasks = [(spec, _comparison_cell, journal_dir, policy) for spec in pending]
-    envelopes = safe_parallel_map(execute_cell, tasks, resolve_executor(jobs, executor))
+    with telemetry.span(
+        "grid", cells=len(specs), pending=len(pending), restored=len(restored)
+    ):
+        envelopes = safe_parallel_map(
+            execute_cell, tasks, resolve_executor(jobs, executor)
+        )
     # Envelope errors are infrastructure failures (unpicklable factory, dead
     # journal directory, …) — never cell failures, which execute_cell already
     # captures — so they always raise, regardless of on_error.

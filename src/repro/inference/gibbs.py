@@ -18,6 +18,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from .chains import Trace
 
 BlockUpdater = Callable[[dict, np.random.Generator], Mapping[str, float]]
@@ -62,15 +63,17 @@ class GibbsSampler:
                 self.diagnostics.setdefault(f"{name}.{key}", []).append(float(value))
         if self.trace_fn is not None:
             self.trace.record(**self.trace_fn(self.state))
+        telemetry.count("gibbs.sweeps")
 
     def run(self, n_sweeps: int, callback: Callable[[int, dict], None] | None = None) -> Trace:
         """Run ``n_sweeps`` sweeps; ``callback(i, state)`` fires after each."""
         if n_sweeps < 0:
             raise ValueError("n_sweeps must be non-negative")
-        for i in range(n_sweeps):
-            self.sweep()
-            if callback is not None:
-                callback(i, self.state)
+        with telemetry.span("gibbs.run", n_sweeps=n_sweeps):
+            for i in range(n_sweeps):
+                self.sweep()
+                if callback is not None:
+                    callback(i, self.state)
         return self.trace
 
     def diagnostic_mean(self, key: str) -> float:

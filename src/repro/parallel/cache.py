@@ -10,15 +10,21 @@ cost once through this cache.
 The cache is process-local and LRU-bounded. Entries are keyed by
 everything that determines the output bit-for-bit: region name, scale,
 seed, pipe-class subset and the full :class:`FeatureConfig`. Callers must
-treat the returned :class:`ModelData` as read-only (all models do).
+treat the returned :class:`ModelData` as read-only — and the cache
+*enforces* it: every array is marked non-writeable on insertion, so a
+model mutating a feature matrix in place raises ``ValueError`` instead of
+silently corrupting every sibling's cache hit.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import astuple
+from dataclasses import astuple, fields
 from threading import Lock
 
+import numpy as np
+
+from .. import telemetry
 from ..data.datasets import load_region
 from ..features.builder import FeatureConfig, ModelData, build_model_data
 from ..network.pipe import PipeClass
@@ -46,6 +52,21 @@ def _key(
     )
 
 
+def _freeze(data: ModelData) -> ModelData:
+    """Mark every array field of ``data`` non-writeable (in place).
+
+    The read-only contract of the cache, enforced: a cached
+    :class:`ModelData` is shared by every model and repeat that hits the
+    same key, so an in-place mutation would corrupt all of them at once.
+    With the flag cleared, NumPy raises on the write instead.
+    """
+    for field in fields(data):
+        value = getattr(data, field.name)
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+    return data
+
+
 def cached_model_data(
     region: str,
     scale: float | None = None,
@@ -58,11 +79,14 @@ def cached_model_data(
     with _lock:
         if key in _cache:
             _cache.move_to_end(key)
+            telemetry.count("cache.hit")
             return _cache[key]
-    dataset = load_region(region, scale=scale, seed=seed)
-    if pipe_class is not None:
-        dataset = dataset.subset(pipe_class)
-    data = build_model_data(dataset, feature_config)
+    telemetry.count("cache.miss")
+    with telemetry.span("cache.build", region=region, scale=scale, seed=seed):
+        dataset = load_region(region, scale=scale, seed=seed)
+        if pipe_class is not None:
+            dataset = dataset.subset(pipe_class)
+        data = _freeze(build_model_data(dataset, feature_config))
     with _lock:
         _cache[key] = data
         _cache.move_to_end(key)

@@ -28,6 +28,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
+from .. import telemetry
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -72,6 +74,22 @@ def _normalise_mode(mode: str) -> str:
         ) from None
 
 
+def _validate_jobs(jobs: int, source: str) -> None:
+    """Reject non-positive worker counts where the value enters the system.
+
+    Validating at resolution time (not only in :class:`ExecutorConfig`)
+    names the *source* of the bad value — ``REPRO_JOBS=0`` reads very
+    differently from a buggy ``jobs=-2`` argument — and guarantees no
+    worker-count ever reaches ``ThreadPoolExecutor``/``ProcessPoolExecutor``
+    (which reject ``max_workers <= 0`` with an opaque crash).
+    """
+    if jobs < 1:
+        raise ValueError(
+            f"jobs must be >= 1, got {jobs} (from {source}); "
+            "use jobs=1 (or mode='serial') for serial execution"
+        )
+
+
 def resolve_executor(
     jobs: int | None = None, mode: str | None = None
 ) -> ExecutorConfig:
@@ -80,15 +98,19 @@ def resolve_executor(
     Precedence per field: explicit argument → environment variable →
     default. ``jobs`` defaults to the CPU count whenever a non-serial mode
     is requested without a count, and mode defaults to ``threads`` whenever
-    a count > 1 is requested without a mode.
+    a count > 1 is requested without a mode. ``jobs`` must be >= 1 wherever
+    it comes from — there is no "0 = auto" or negative-count convention.
     """
-    if jobs is None:
+    if jobs is not None:
+        _validate_jobs(jobs, "the jobs argument")
+    else:
         raw = os.environ.get("REPRO_JOBS")
         if raw is not None:
             try:
                 jobs = int(raw)
             except ValueError:
                 raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+            _validate_jobs(jobs, f"REPRO_JOBS={raw}")
     if mode is None:
         raw_mode = os.environ.get("REPRO_EXECUTOR")
         mode = _normalise_mode(raw_mode) if raw_mode else None
@@ -118,11 +140,15 @@ def parallel_map(
     if not work:
         return []
     if config.is_serial or len(work) == 1:
-        return [fn(item) for item in work]
+        with telemetry.span("parallel.map", mode="serial", jobs=1, items=len(work)):
+            return [fn(item) for item in work]
     n_workers = min(config.jobs, len(work))
     pool_cls = ThreadPoolExecutor if config.mode == "threads" else ProcessPoolExecutor
-    with pool_cls(max_workers=n_workers) as pool:
-        return list(pool.map(fn, work))
+    with telemetry.span(
+        "parallel.map", mode=config.mode, jobs=n_workers, items=len(work)
+    ):
+        with pool_cls(max_workers=n_workers) as pool:
+            return list(pool.map(fn, work))
 
 
 class WorkError(RuntimeError):
@@ -171,8 +197,10 @@ class _EnvelopedCall(Generic[T, R]):
         index, item = indexed
         start = time.perf_counter()
         try:
-            value = self.fn(item)
+            with telemetry.span("parallel.worker", index=index):
+                value = self.fn(item)
         except Exception as exc:  # noqa: BLE001 — the envelope is the contract
+            telemetry.count("parallel.worker.errors")
             return WorkResult(
                 index=index,
                 error="".join(

@@ -73,6 +73,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 
     from ..core.dpmhbp import DPMHBP
     from ..core.ranking.objective import empirical_auc
+    from .benchmarks import make_telemetry_noop
 
     rng = np.random.default_rng(0)
     failures = (rng.random((500, 11)) < 0.02).astype(np.int8)
@@ -86,6 +87,10 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             failures, features
         ),
         "empirical_auc_100k": lambda: empirical_auc(scores, labels),
+        # Disabled-telemetry overhead: 200k no-op span+counter calls must be
+        # effectively free, or the permanent hot-path instrumentation is
+        # taxing every sweep (see telemetry.recorder).
+        "telemetry_noop_200k": make_telemetry_noop(),
     }
     failed = False
     for name, fn in checks.items():

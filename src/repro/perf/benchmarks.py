@@ -120,6 +120,29 @@ def make_run_journal() -> Callable[[], Any]:
     return run_roundtrip
 
 
+def make_telemetry_noop() -> Callable[[], Any]:
+    """200k disabled span+counter calls — the cost instrumentation leaves behind.
+
+    Telemetry lives permanently inside sweep loops and worker envelopes,
+    so the *disabled* path must stay a near-free attribute check. This
+    probe times it directly; any accidental work on the no-op path (a
+    dict lookup, an allocation per call) shows up here long before it is
+    visible inside ``dpmhbp_sweeps``.
+    """
+    from .. import telemetry
+
+    def run() -> int:
+        telemetry.disable()
+        noop_span = telemetry.span
+        noop_count = telemetry.count
+        for _ in range(200_000):
+            with noop_span("hot"):
+                noop_count("iterations")
+        return 0
+
+    return run
+
+
 #: Registry consumed by ``repro.perf.run_benchmarks`` — name → factory.
 BENCHMARKS: dict[str, Benchmark] = {
     "dpmhbp_sweeps": make_dpmhbp_sweeps,
@@ -128,4 +151,5 @@ BENCHMARKS: dict[str, Benchmark] = {
     "empirical_auc": make_empirical_auc,
     "es_generation": make_es_generation,
     "run_journal": make_run_journal,
+    "telemetry_noop": make_telemetry_noop,
 }

@@ -27,6 +27,7 @@ from .engine import (
 )
 from .faults import (
     FAULT_KINDS,
+    CancelToken,
     CellTimeoutError,
     FaultInjector,
     FaultSpec,
@@ -34,6 +35,7 @@ from .faults import (
     call_with_timeout,
 )
 from .journal import (
+    CellAbandonedError,
     CheckpointCorruptError,
     JournalError,
     RunJournal,

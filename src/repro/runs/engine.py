@@ -20,7 +20,11 @@ Retry semantics (``on_error="retry"``):
 
 Completed cells are checkpointed from inside the worker (not after the
 grid joins), which is what makes a killed run resumable: everything that
-finished before the kill is already on disk.
+finished before the kill is already on disk. The checkpoint runs inside
+the timeout-guarded attempt and is suppressed once the attempt's
+:class:`~repro.runs.faults.CancelToken` is cancelled, so a timed-out cell
+that finishes late in its abandoned daemon thread can no longer record
+itself as completed after the grid marked it failed.
 """
 
 from __future__ import annotations
@@ -30,7 +34,8 @@ import traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from .faults import FaultInjector, call_with_timeout
+from .. import telemetry
+from .faults import CancelToken, FaultInjector, call_with_timeout
 from .journal import RunJournal
 from .spec import CellSpec
 
@@ -107,7 +112,10 @@ def execute_cell(
         # Belt and braces: the parent already filters completed cells, but a
         # concurrent/restarted producer may have finished this one meanwhile.
         try:
-            return CellOutcome.restored(spec, journal.load_cell(spec))
+            with telemetry.span("cell.restore", cell=cell_id):
+                restored = journal.load_cell(spec)
+            telemetry.count("cell.restored")
+            return CellOutcome.restored(spec, restored)
         except Exception:  # noqa: BLE001 — fall through to recompute
             pass
 
@@ -120,17 +128,42 @@ def execute_cell(
             journal.log_event(
                 "cell_started", cell=cell_id, attempt=attempt, seed=current.seed
             )
-        def _attempt(spec_now: CellSpec = current) -> "RegionRun":
+        # Fresh token per attempt: timing out attempt N must not poison a
+        # clean attempt N+1 of the same cell.
+        token = CancelToken()
+
+        def _attempt(
+            spec_now: CellSpec = current,
+            attempt_now: int = attempt,
+            token: CancelToken = token,
+        ) -> "RegionRun":
             # The injector trips inside the guarded call so an injected
             # stall ("sleep" faults) is subject to the soft timeout too.
             if policy.fault_injector is not None:
                 policy.fault_injector.trip(cell_id)
-            return compute(spec_now)
+            with telemetry.span("cell.compute", cell=cell_id, attempt=attempt_now):
+                run = compute(spec_now)
+            # Worker-side checkpoint (what makes a killed run resumable) —
+            # but only while the grid is still waiting on this attempt. An
+            # abandoned (timed-out) body that finishes late must not plant
+            # a completion marker over the failure the grid recorded;
+            # ``save_cell`` re-checks the token before the marker lands.
+            if journal is not None and not token.cancelled:
+                with telemetry.span("cell.checkpoint", cell=cell_id):
+                    journal.save_cell(
+                        spec_now,
+                        run,
+                        attempts=attempt_now,
+                        abandoned=lambda: token.cancelled,
+                    )
+            return run
 
         try:
-            run = call_with_timeout(_attempt, policy.cell_timeout)
+            with telemetry.span("cell.attempt", cell=cell_id, attempt=attempt):
+                run = call_with_timeout(_attempt, policy.cell_timeout, cancel=token)
         except Exception as exc:  # noqa: BLE001 — envelope, never a bare raise
             last_error = exc
+            telemetry.count("cell.failures")
             if journal is not None:
                 journal.log_event(
                     "cell_failed",
@@ -142,6 +175,7 @@ def execute_cell(
             if attempt < policy.attempts:
                 if isinstance(exc, NoTestFailuresError):
                     current = spec.reseeded(attempt)
+                telemetry.count("cell.retries")
                 if journal is not None:
                     journal.log_event(
                         "cell_retried", cell=cell_id, next_seed=current.seed
@@ -150,7 +184,6 @@ def execute_cell(
             break
         duration = time.perf_counter() - start
         if journal is not None:
-            journal.save_cell(current, run, attempts=attempt)
             journal.log_event(
                 "cell_completed",
                 cell=cell_id,

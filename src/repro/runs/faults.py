@@ -116,12 +116,43 @@ class FaultInjector:
             path.unlink(missing_ok=True)
 
 
-def call_with_timeout(fn: Callable[[], Any], timeout: float | None) -> Any:
+class CancelToken:
+    """Cooperative cancellation flag shared with an abandoned cell body.
+
+    :func:`call_with_timeout` sets the token *before* raising
+    :class:`CellTimeoutError`, so the daemon thread it walks away from can
+    see it was abandoned. The guarded body must check :attr:`cancelled`
+    before any externally visible effect — in particular the worker-side
+    journal checkpoint: without the check, a timed-out cell that
+    eventually finishes in the background would checkpoint itself as
+    *completed* after the grid already recorded it as *failed*, and a
+    later resume would silently pick up the contradictory cell.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+def call_with_timeout(
+    fn: Callable[[], Any], timeout: float | None, cancel: CancelToken | None = None
+) -> Any:
     """Run ``fn()``, abandoning it after ``timeout`` seconds (soft).
 
     Without a timeout this is a plain call. With one, ``fn`` runs in a
-    daemon thread; if it has not finished in time, :class:`CellTimeoutError`
-    is raised and the thread is left to die with the process. Exceptions
+    daemon thread; if it has not finished in time, ``cancel`` (when given)
+    is set, then :class:`CellTimeoutError` is raised and the thread is
+    left to die with the process. The abandoned body keeps burning CPU —
+    the guard bounds how long the *caller* waits — but by observing the
+    token it must not produce side effects after abandonment. Exceptions
     from ``fn`` propagate unchanged.
     """
     if timeout is None:
@@ -142,6 +173,8 @@ def call_with_timeout(fn: Callable[[], Any], timeout: float | None) -> Any:
     thread = threading.Thread(target=_target, daemon=True, name="cell-timeout-guard")
     thread.start()
     if not done.wait(timeout):
+        if cancel is not None:
+            cancel.cancel()
         raise CellTimeoutError(f"cell exceeded its soft timeout of {timeout:.3g}s")
     if "error" in outcome:
         raise outcome["error"]

@@ -37,7 +37,7 @@ import tempfile
 import zipfile
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
@@ -60,6 +60,10 @@ class JournalError(RuntimeError):
 
 class CheckpointCorruptError(JournalError):
     """A cell checkpoint exists but cannot be trusted (recompute the cell)."""
+
+
+class CellAbandonedError(JournalError):
+    """A checkpoint was suppressed because its cell was abandoned (timed out)."""
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -199,14 +203,31 @@ class RunJournal:
             base / f"{cell_id}.failed.json",
         )
 
-    def save_cell(self, spec: CellSpec, run: "RegionRun", attempts: int = 1) -> None:
+    def save_cell(
+        self,
+        spec: CellSpec,
+        run: "RegionRun",
+        attempts: int = 1,
+        abandoned: Callable[[], bool] | None = None,
+    ) -> None:
         """Atomically checkpoint one completed cell.
 
         Arrays (labels, pipe lengths, one score vector per model) go into
         the ``.npz``; metrics and the npz checksum into the ``.json``,
         which lands last and marks completion.
+
+        ``abandoned`` (e.g. a timeout :class:`~repro.runs.faults.CancelToken`'s
+        ``cancelled``) is re-checked right before each write: a cell body
+        the grid has already given up on must not plant a completion
+        marker that contradicts the recorded failure — the npz write is
+        the slow part of a checkpoint, so the pre-marker check closes most
+        of the window a single entry check would leave open.
         """
         npz_path, json_path, failed_path = self._cell_paths(spec.cell_id)
+        if abandoned is not None and abandoned():
+            raise CellAbandonedError(
+                f"cell {spec.cell_id}: abandoned by its grid; checkpoint suppressed"
+            )
         arrays: dict[str, np.ndarray] = {
             "labels": run.labels,
             "pipe_lengths": run.pipe_lengths,
@@ -216,6 +237,11 @@ class RunJournal:
         buffer = io.BytesIO()
         np.savez(buffer, **arrays)
         _atomic_write_bytes(npz_path, buffer.getvalue())
+        if abandoned is not None and abandoned():
+            npz_path.unlink(missing_ok=True)
+            raise CellAbandonedError(
+                f"cell {spec.cell_id}: abandoned mid-checkpoint; completion marker withheld"
+            )
         record = {
             "format": JOURNAL_FORMAT,
             "cell_id": spec.cell_id,

@@ -1,0 +1,215 @@
+"""``repro status <run_dir>``: what a journalled run is doing right now.
+
+Everything here is read-only over the PR 2 run-journal artifacts — the
+manifest (grid shape), the checkpoint markers (done cells), the
+``.failed.json`` records and the event log (attempts, retries, timing) —
+plus the telemetry trace (``trace.jsonl``) when the run was traced. It
+works equally on an in-flight run (a concurrent writer only ever appends
+whole lines / renames complete files) and a finished one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runs.journal import RunJournal
+from .aggregate import format_trace_report, summarize_trace
+
+#: Trace file name inside a run directory (written by ``--trace``).
+TRACE_NAME = "trace.jsonl"
+
+
+@dataclass
+class CellStatus:
+    """One grid cell's lifecycle as the journal records it."""
+
+    cell_id: str
+    state: str  # "done" | "failed" | "running" | "pending"
+    attempts: int = 0
+    duration_s: float | None = None
+    error_type: str | None = None
+    error: str | None = None
+    last_seed: int | None = None
+
+
+@dataclass
+class RunStatus:
+    """Everything ``repro status`` renders, as plain data."""
+
+    run_dir: str
+    fingerprint: str
+    regions: list[str]
+    n_repeats: int
+    cells: list[CellStatus]
+    retries: dict[str, int] = field(default_factory=dict)
+    started_unix: float | None = None
+    finished: bool = False
+    trace_summary: dict | None = None
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    def counts(self) -> dict[str, int]:
+        out = {"done": 0, "failed": 0, "running": 0, "pending": 0}
+        for cell in self.cells:
+            out[cell.state] += 1
+        return out
+
+
+def _expected_cell_ids(regions: list[str], n_repeats: int) -> list[str]:
+    return [
+        f"{region}-r{repeat:03d}"
+        for region in regions
+        for repeat in range(n_repeats)
+    ]
+
+
+def run_status(run_dir: str | Path) -> RunStatus:
+    """Assemble a :class:`RunStatus` from a run directory's artifacts."""
+    journal = RunJournal.open(run_dir)
+    config = journal.manifest.get("config", {})
+    regions = [str(r) for r in (config.get("regions") or [])]
+    n_repeats = int(config.get("n_repeats") or 0)
+    completed = journal.completed_cells()
+    failed = journal.failed_cells()
+    events = journal.events()
+
+    # Per-cell evidence from the event log: attempts, timing, liveness.
+    started: dict[str, float] = {}
+    attempts: dict[str, int] = {}
+    durations: dict[str, float] = {}
+    retries: dict[str, int] = {}
+    seeds: dict[str, int | None] = {}
+    run_started: float | None = None
+    finished = False
+    for event in events:
+        kind = event.get("event")
+        cell = event.get("cell")
+        if kind == "run_started" and run_started is None:
+            run_started = float(event.get("t", 0.0)) or None
+        elif kind in ("run_completed", "run_aborted"):
+            finished = True
+        if not cell:
+            continue
+        if kind == "cell_started":
+            started[cell] = float(event.get("t", 0.0))
+            attempts[cell] = max(attempts.get(cell, 0), int(event.get("attempt", 1)))
+            seeds[cell] = event.get("seed")
+        elif kind == "cell_retried":
+            retries[cell] = retries.get(cell, 0) + 1
+        elif kind == "cell_completed":
+            durations[cell] = float(event.get("duration_s", 0.0))
+
+    expected = _expected_cell_ids(regions, n_repeats)
+    known = set(expected)
+    # A journal can hold cells outside the manifest grid (defensive).
+    extras = sorted((completed | set(failed)) - known)
+    cells: list[CellStatus] = []
+    for cell_id in expected + extras:
+        if cell_id in completed:
+            state = "done"
+        elif cell_id in failed:
+            state = "failed"
+        elif cell_id in started and not finished:
+            state = "running"
+        else:
+            state = "pending"
+        failure = failed.get(cell_id, {})
+        cells.append(
+            CellStatus(
+                cell_id=cell_id,
+                state=state,
+                attempts=max(
+                    attempts.get(cell_id, 0), int(failure.get("attempts") or 0)
+                ),
+                duration_s=durations.get(cell_id),
+                error_type=failure.get("error_type"),
+                error=failure.get("error"),
+                last_seed=seeds.get(cell_id),
+            )
+        )
+
+    trace_path = Path(run_dir) / TRACE_NAME
+    trace_summary = summarize_trace(trace_path) if trace_path.exists() else None
+    return RunStatus(
+        run_dir=str(journal.run_dir),
+        fingerprint=journal.fingerprint,
+        regions=regions,
+        n_repeats=n_repeats,
+        cells=cells,
+        retries=retries,
+        started_unix=run_started,
+        finished=finished,
+        trace_summary=trace_summary,
+    )
+
+
+_STATE_GLYPH = {"done": "#", "failed": "x", "running": ">", "pending": "."}
+
+
+def format_status(status: RunStatus, verbose: bool = False) -> str:
+    """Render a :class:`RunStatus` as the ``repro status`` report."""
+    counts = status.counts()
+    lines = [
+        f"run: {status.run_dir}  (fingerprint {status.fingerprint[:12]}…)",
+        f"grid: regions {', '.join(status.regions) or '?'} × {status.n_repeats} "
+        f"repeat(s) = {status.total} cell(s)   "
+        f"[{'finished' if status.finished else 'in flight'}]",
+        f"progress: {counts['done']}/{status.total} done, {counts['failed']} failed, "
+        f"{counts['running']} running, {counts['pending']} pending",
+    ]
+    if status.started_unix is not None:
+        age = time.time() - status.started_unix
+        lines.append(f"last (re)start: {age:.0f}s ago")
+
+    by_region: dict[str, list[CellStatus]] = {}
+    for cell in status.cells:
+        by_region.setdefault(cell.cell_id.rsplit("-r", 1)[0], []).append(cell)
+    for region, region_cells in by_region.items():
+        strip = "".join(_STATE_GLYPH[c.state] for c in region_cells)
+        done = sum(c.state == "done" for c in region_cells)
+        lines.append(f"  region {region:<4s} [{strip}] {done}/{len(region_cells)}")
+
+    timed = [c for c in status.cells if c.duration_s is not None]
+    if timed:
+        lines.append("")
+        lines.append(f"{'cell':<12s} {'state':<8s} {'attempts':>8s} {'duration':>10s}")
+        for cell in status.cells:
+            if cell.duration_s is None and not verbose:
+                continue
+            dur = f"{cell.duration_s:.2f}s" if cell.duration_s is not None else "—"
+            lines.append(
+                f"{cell.cell_id:<12s} {cell.state:<8s} {cell.attempts:>8d} {dur:>10s}"
+            )
+        total_s = sum(c.duration_s for c in timed)
+        mean_s = total_s / len(timed)
+        lines.append(
+            f"cell time: total {total_s:.2f}s, mean {mean_s:.2f}s over {len(timed)} cell(s)"
+        )
+
+    failures = [c for c in status.cells if c.state == "failed"]
+    if failures:
+        lines.append("")
+        lines.append("failures:")
+        for cell in failures:
+            first = (cell.error or "").strip().splitlines()
+            detail = first[-1] if first else ""
+            lines.append(
+                f"  {cell.cell_id}: {cell.error_type or '?'} "
+                f"after {cell.attempts} attempt(s)  {detail[:80]}"
+            )
+    if status.retries:
+        total_retries = sum(status.retries.values())
+        per_cell = ", ".join(
+            f"{cell}×{n}" for cell, n in sorted(status.retries.items())
+        )
+        lines.append(f"retries: {total_retries} ({per_cell})")
+
+    if status.trace_summary is not None:
+        lines.append("")
+        lines.append(f"trace ({TRACE_NAME}):")
+        lines.append(format_trace_report(status.trace_summary))
+    return "\n".join(lines)

@@ -75,6 +75,24 @@ class TestExecutorConfig:
         with pytest.raises(ValueError):
             resolve_executor()
 
+    def test_explicit_zero_jobs_rejected_at_resolution(self):
+        with pytest.raises(ValueError, match=r"got 0 \(from the jobs argument\)"):
+            resolve_executor(jobs=0)
+
+    def test_explicit_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match=r"got -2"):
+            resolve_executor(jobs=-2, mode="threads")
+
+    def test_env_zero_jobs_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        with pytest.raises(ValueError, match=r"from REPRO_JOBS=0"):
+            resolve_executor()
+
+    def test_rejection_message_points_at_serial(self):
+        with pytest.raises(ValueError, match="mode='serial'"):
+            resolve_executor(jobs=0)
+
 
 class TestParallelMap:
     @pytest.mark.parametrize("mode", EXECUTORS)
@@ -111,6 +129,28 @@ class TestRegionCache:
         a = cached_model_data("A", scale=0.05, seed=9)
         clear_model_data_cache()
         assert cached_model_data("A", scale=0.05, seed=9) is not a
+
+    def test_cached_arrays_reject_mutation(self):
+        """The read-only contract is enforced, not just documented."""
+        clear_model_data_cache()
+        data = cached_model_data("A", scale=0.05, seed=9)
+        with pytest.raises(ValueError, match="read-only"):
+            data.X_pipe[0, 0] = 99.0
+        with pytest.raises(ValueError, match="read-only"):
+            data.pipe_fail_test[:] = 1.0
+
+    def test_every_array_field_is_frozen(self):
+        from dataclasses import fields
+
+        clear_model_data_cache()
+        data = cached_model_data("A", scale=0.05, seed=9)
+        writable = [
+            f.name
+            for f in fields(data)
+            if isinstance(getattr(data, f.name), np.ndarray)
+            and getattr(data, f.name).flags.writeable
+        ]
+        assert writable == []
 
 
 class TestChainDeterminism:

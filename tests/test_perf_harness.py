@@ -39,6 +39,7 @@ class TestTiming:
             "empirical_auc",
             "es_generation",
             "run_journal",
+            "telemetry_noop",
         }
 
     def test_unknown_benchmark_rejected(self):

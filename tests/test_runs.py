@@ -9,6 +9,7 @@ The two acceptance properties the suite pins down:
 """
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +23,8 @@ from repro.eval.experiment import (
 )
 from repro.parallel import ExecutorConfig, safe_parallel_map
 from repro.runs import (
+    CancelToken,
+    CellAbandonedError,
     CellExecutionError,
     CellSpec,
     CellTimeoutError,
@@ -31,8 +34,10 @@ from repro.runs import (
     InjectedFault,
     JournalError,
     RunJournal,
+    RunPolicy,
     call_with_timeout,
     config_fingerprint,
+    execute_cell,
 )
 
 
@@ -258,8 +263,6 @@ class TestCallWithTimeout:
         assert call_with_timeout(lambda: 7, None) == 7
 
     def test_times_out(self):
-        import time
-
         with pytest.raises(CellTimeoutError):
             call_with_timeout(lambda: time.sleep(5), timeout=0.05)
 
@@ -269,6 +272,97 @@ class TestCallWithTimeout:
 
         with pytest.raises(KeyError):
             call_with_timeout(boom, timeout=5.0)
+
+    def test_timeout_cancels_token_before_raising(self):
+        token = CancelToken()
+        with pytest.raises(CellTimeoutError):
+            call_with_timeout(lambda: time.sleep(5), timeout=0.05, cancel=token)
+        assert token.cancelled
+
+    def test_success_leaves_token_clear(self):
+        token = CancelToken()
+        assert call_with_timeout(lambda: 3, timeout=5.0, cancel=token) == 3
+        assert not token.cancelled
+
+    def test_cancel_token_is_sticky(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+
+def _instant_run(spec):
+    """Module-level compute for execute_cell tests (fast, deterministic)."""
+    return _make_region_run(seed=spec.seed or 0)
+
+
+class TestAbandonedCheckpointGuard:
+    """A timed-out cell's daemon thread must never checkpoint as completed."""
+
+    def test_save_cell_refuses_abandoned_at_entry(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "run", {})
+        spec = CellSpec(region="A", repeat=0)
+        with pytest.raises(CellAbandonedError, match="suppressed"):
+            journal.save_cell(spec, _make_region_run(), abandoned=lambda: True)
+        assert not journal.cell_done("A-r000")
+        assert not list((tmp_path / "run" / "cells").glob("A-r000.*"))
+
+    def test_mid_checkpoint_abandonment_withholds_marker(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "run", {})
+        spec = CellSpec(region="A", repeat=0)
+        # Entry check passes; the re-check before the completion marker trips
+        # (the grid abandoned the cell while the npz was being written).
+        flips = iter([False, True])
+        with pytest.raises(CellAbandonedError, match="marker withheld"):
+            journal.save_cell(spec, _make_region_run(), abandoned=lambda: next(flips))
+        assert not journal.cell_done("A-r000")
+        assert not (tmp_path / "run" / "cells" / "A-r000.npz").exists()
+
+    def test_save_cell_without_guard_unchanged(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "run", {})
+        spec = CellSpec(region="A", repeat=0)
+        journal.save_cell(spec, _make_region_run(), abandoned=lambda: False)
+        assert journal.cell_done("A-r000")
+
+    def test_timed_out_cell_cannot_complete_late(self, tmp_path):
+        """Regression for the timeout/checkpoint race: the abandoned body
+        finishes in the background but must not flip failed → done."""
+        injector = FaultInjector(
+            state_dir=str(tmp_path / "faults"),
+            plan={"A-r000": FaultSpec(kind="sleep", times=5, delay=0.4)},
+        )
+        policy = RunPolicy(
+            on_error="skip", cell_timeout=0.05, fault_injector=injector
+        )
+        journal = RunJournal.create(tmp_path / "run", {})
+        spec = CellSpec(region="A", repeat=0, seed=0)
+        outcome = execute_cell((spec, _instant_run, str(tmp_path / "run"), policy))
+        assert not outcome.ok
+        assert outcome.error_type == "CellTimeoutError"
+        assert "A-r000" in journal.failed_cells()
+        # Give the abandoned daemon thread ample time to wake up and finish …
+        time.sleep(0.8)
+        # … the failure verdict must stand: no late completion marker.
+        assert not journal.cell_done("A-r000")
+        assert "A-r000" in journal.failed_cells()
+
+    def test_retry_after_timeout_still_checkpoints(self, tmp_path):
+        """A fresh attempt of the same cell is not poisoned by the old token."""
+        injector = FaultInjector(
+            state_dir=str(tmp_path / "faults"),
+            plan={"A-r000": FaultSpec(kind="sleep", times=1, delay=0.4)},
+        )
+        policy = RunPolicy(
+            on_error="retry", retries=1, cell_timeout=0.05, fault_injector=injector
+        )
+        journal = RunJournal.create(tmp_path / "run", {})
+        spec = CellSpec(region="A", repeat=0, seed=0)
+        outcome = execute_cell((spec, _instant_run, str(tmp_path / "run"), policy))
+        assert outcome.ok and outcome.attempts == 2
+        assert journal.cell_done("A-r000")
+        time.sleep(0.8)  # the first attempt's straggler changes nothing
+        assert journal.cell_done("A-r000")
 
 
 class TestGridFaultTolerance:
