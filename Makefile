@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test lint bench bench-save bench-compare perfcheck report examples clean
+.PHONY: install test lint bench bench-save bench-compare perfcheck health-save health-compare report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,18 @@ bench-compare:
 # must land under a generous ceiling.
 perfcheck:
 	PYTHONPATH=src python -m repro.perf smoke
+
+# Metric-drift harness (mirrors bench-save/bench-compare for accuracy):
+# snapshot a run directory's per-cell metrics to HEALTH_<rev>.json / fail
+# when any cell's metric moves outside the band. Usage:
+#   make health-save RUN_DIR=runs/my-run
+#   make health-compare RUN_DIR=runs/my-run
+RUN_DIR ?= runs/latest
+health-save:
+	PYTHONPATH=src python -m repro.monitor save $(RUN_DIR)
+
+health-compare:
+	PYTHONPATH=src python -m repro.monitor compare $(RUN_DIR)
 
 report:
 	python -c "from repro.eval.report import write_report; print(write_report('benchmarks/artifacts'))"

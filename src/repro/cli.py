@@ -6,6 +6,8 @@ Commands
 ``compare``    fit the full model line-up on one region and print the AUC table
 ``grid``       the repeated Table 18.3/18.4 grid — journalled, resumable
 ``status``     progress/timing/failure report over a journalled run directory
+``doctor``     convergence/drift/failure health check over a run directory
+               (exit 0 healthy / 1 warnings / 2 failures; ``--json`` for CI)
 ``riskmap``    fit DPMHBP and write a Fig. 18.9-style SVG risk map
 ``plan``       produce a budget-constrained inspection plan with economics
 
@@ -13,7 +15,9 @@ Every command also takes ``--trace [PATH]`` (see :mod:`repro.telemetry`):
 spans, counters and gauges from the instrumented hot paths are collected
 and a where-the-time-went report is printed at exit; with a journalled
 ``grid`` the trace lands in ``<run_dir>/trace.jsonl`` so ``repro status``
-can fold it into its report.
+can fold it into its report. ``--metrics-out PATH`` additionally writes
+the final counter/gauge state in Prometheus text exposition format
+(``repro_*`` metrics; see :mod:`repro.telemetry.prometheus`).
 
 Every command shares one parent parser (so flags are declared once):
 ``--scale`` (fraction of paper-scale data, default from
@@ -111,6 +115,28 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 1 if counts["failed"] and status.finished else 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from .monitor.doctor import diagnose
+    from .runs.journal import JournalError
+
+    try:
+        report = diagnose(
+            args.run_dir_pos,
+            baseline=args.baseline,
+            band=args.band,
+        )
+    except (JournalError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def _cmd_riskmap(args: argparse.Namespace) -> int:
     from .core.dpmhbp import DPMHBPModel
     from .data.datasets import load_region
@@ -176,6 +202,14 @@ def _parent_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable telemetry; append a JSONL trace to PATH (default: the "
         "run journal's trace.jsonl when journalled, else in-memory only)",
+    )
+    parent.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the final counters/gauges to PATH in Prometheus text "
+        "exposition format (implies telemetry collection)",
     )
     run = parent.add_argument_group("run control (grid)")
     run.add_argument(
@@ -248,6 +282,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_status)
 
+    p = sub.add_parser(
+        "doctor",
+        parents=[parent],
+        help="convergence/drift/failure health check over a run directory",
+    )
+    p.add_argument(
+        "run_dir_pos", metavar="run_dir", type=Path, help="a --run-dir/--resume directory"
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="HEALTH_<rev>.json metric baseline to check drift against",
+    )
+    p.add_argument(
+        "--band",
+        type=float,
+        default=0.02,
+        help="drift band (absolute for [0,1] metrics, relative otherwise)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report for CI"
+    )
+    p.set_defaults(func=_cmd_doctor)
+
     p = sub.add_parser("riskmap", parents=[parent], help="write an SVG risk map")
     region_flag(p)
     p.add_argument("--out", type=Path, default=None)
@@ -272,23 +331,38 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "executor", None) is not None:
         os.environ["REPRO_EXECUTOR"] = args.executor
     trace = getattr(args, "trace", None)
-    if trace is not None and args.command != "status":
+    metrics_out = getattr(args, "metrics_out", None)
+    # Passive (read-only) commands never print the where-the-time-went
+    # report — they inspect runs rather than execute them — but they do
+    # honour --metrics-out: `repro doctor --metrics-out` exports the
+    # convergence gauges it just computed.
+    passive = args.command in ("status", "doctor")
+    report_trace = trace is not None and not passive
+    if report_trace or metrics_out is not None:
         from . import telemetry
 
         # "auto" binds to the run journal when one is in play (run_comparison
         # does the binding, so resumed runs append to the same trace);
         # otherwise telemetry stays in-memory and is reported at exit.
-        telemetry.configure(trace_path=None if trace == "auto" else trace)
+        telemetry.configure(
+            trace_path=None if trace in (None, "auto") else trace
+        )
         try:
             return args.func(args)
         finally:
             telemetry.flush()
             recorder = telemetry.get_recorder()
-            report = telemetry.format_trace_report(telemetry.summarize_trace(recorder))
-            print(f"\n--- telemetry ({args.command}) ---", file=sys.stderr)
-            print(report, file=sys.stderr)
-            if recorder.trace_path is not None:
-                print(f"trace: {recorder.trace_path}", file=sys.stderr)
+            if report_trace:
+                report = telemetry.format_trace_report(
+                    telemetry.summarize_trace(recorder)
+                )
+                print(f"\n--- telemetry ({args.command}) ---", file=sys.stderr)
+                print(report, file=sys.stderr)
+                if recorder.trace_path is not None:
+                    print(f"trace: {recorder.trace_path}", file=sys.stderr)
+            if metrics_out is not None:
+                path = telemetry.write_metrics(metrics_out, recorder)
+                print(f"metrics: {path}", file=sys.stderr)
             telemetry.disable()
     return args.func(args)
 

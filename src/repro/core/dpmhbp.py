@@ -42,12 +42,14 @@ conjugate Gaussian block updates every cluster mean in one batch.
 from __future__ import annotations
 
 import io
+import json
 import math
 import os
 import tempfile
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Mapping
 
 import numpy as np
 from scipy.special import betaln
@@ -57,8 +59,12 @@ from ..bayes.distributions import beta_logpdf
 from ..features.builder import ModelData
 from ..inference.metropolis import AdaptiveScale, metropolis_probability_step
 from ..ml.glm import PoissonRegression
+from ..monitor.health import ChainHealth, HealthReport
 from ..parallel.executor import parallel_map, resolve_executor
 from .base import FailureModel
+
+#: Per-sweep scalars handed to ``sweep_callback`` and the health monitor.
+SweepCallback = Callable[[int, Mapping[str, float]], None]
 
 
 def _betaln_scalar(a: float, b: float) -> float:
@@ -76,6 +82,11 @@ class DPMHBPPosterior:
     last_assignments: np.ndarray  # (n_segments,)
     last_q: np.ndarray  # (K,) group rates at the final sweep
     accept_rate_q: float
+    #: Per-sweep collapsed Beta–Binomial log-likelihood; empty when the
+    #: posterior was restored from a pre-monitoring checkpoint.
+    log_lik_trace: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Per-sweep q-block acceptance rate; empty on old checkpoints.
+    accept_trace: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     def credible_interval(self, z: float = 1.64) -> tuple[np.ndarray, np.ndarray]:
         """Normal-approximation central interval for each segment's ρ.
@@ -105,6 +116,8 @@ class DPMHBPPosterior:
             last_assignments=self.last_assignments,
             last_q=self.last_q,
             accept_rate_q=np.asarray(self.accept_rate_q),
+            log_lik_trace=self.log_lik_trace,
+            accept_trace=self.accept_trace,
         )
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
@@ -136,6 +149,19 @@ class DPMHBPPosterior:
                     last_assignments=arrays["last_assignments"],
                     last_q=arrays["last_q"],
                     accept_rate_q=float(arrays["accept_rate_q"]),
+                    # Pre-monitoring checkpoints lack the sweep traces;
+                    # empty arrays keep them loadable (the health monitor
+                    # simply has fewer quantities to judge).
+                    log_lik_trace=(
+                        arrays["log_lik_trace"]
+                        if "log_lik_trace" in arrays.files
+                        else np.zeros(0)
+                    ),
+                    accept_trace=(
+                        arrays["accept_trace"]
+                        if "accept_trace" in arrays.files
+                        else np.zeros(0)
+                    ),
                 )
         except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as exc:
             raise ValueError(f"corrupt DPMHBP chain checkpoint {path}: {exc}") from exc
@@ -213,6 +239,12 @@ class DPMHBP:
     n_sweeps: int = 60
     burn_in: int = 20
     seed: int = 0
+    #: Optional per-sweep hook ``callback(sweep, scalars)`` receiving
+    #: ``n_clusters`` / ``log_lik`` / ``accept_q`` after every sweep —
+    #: e.g. :meth:`repro.monitor.ChainHealth.as_callback` for live
+    #: convergence monitoring. Must be picklable (or None) when chains
+    #: fan out over a process executor.
+    sweep_callback: SweepCallback | None = None
 
     def fit(
         self,
@@ -291,8 +323,12 @@ class DPMHBP:
         rho_sq_acc = np.zeros(n_seg)
         kept = 0
         n_clusters_trace = []
+        log_lik_trace = []
+        accept_trace = []
         q_accepts = 0
         q_props = 0
+        q_accepts_prev = 0
+        q_props_prev = 0
 
         log_alpha_aux = math.log(self.alpha / self.n_aux)
         a0 = self.c0 * self.q0
@@ -434,7 +470,25 @@ class DPMHBP:
                 state.mu = [draws[k] for k in range(k_tot)]
 
             n_clusters_trace.append(state.k)
+            # Collapsed log-likelihood of the sweep's state: each segment's
+            # Beta–Binomial term is one lookup in its cluster's table.
+            log_lik = float(np.asarray(state.bb_table)[z, s].sum())
+            log_lik_trace.append(log_lik)
+            sweep_accept = (q_accepts - q_accepts_prev) / max(
+                q_props - q_props_prev, 1
+            )
+            accept_trace.append(sweep_accept)
+            q_accepts_prev, q_props_prev = q_accepts, q_props
             telemetry.count("dpmhbp.sweeps")
+            if self.sweep_callback is not None:
+                self.sweep_callback(
+                    sweep,
+                    {
+                        "n_clusters": float(state.k),
+                        "log_lik": log_lik,
+                        "accept_q": sweep_accept,
+                    },
+                )
 
             # ---- Accumulate posterior mean ρ (collapsed conditional mean) ----
             if sweep >= self.burn_in:
@@ -453,7 +507,26 @@ class DPMHBP:
             last_assignments=z.copy(),
             last_q=np.asarray(state.q),
             accept_rate_q=q_accepts / max(q_props, 1),
+            log_lik_trace=np.asarray(log_lik_trace),
+            accept_trace=np.asarray(accept_trace),
         )
+
+
+def _write_json_atomic(path: Path, payload: dict) -> Path:
+    """Write a JSON document via same-dir temp file + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _fit_dpmhbp_chain(task: tuple) -> DPMHBPPosterior:
@@ -508,12 +581,18 @@ class DPMHBPModel(FailureModel):
     seed: int = 0
     jobs: int | None = None
     executor: str | None = None
+    #: Pool the chains' per-sweep traces into a convergence
+    #: :class:`~repro.monitor.HealthReport` after fitting (stored on
+    #: ``health_``; also written to ``checkpoint_dir/health.json`` when
+    #: checkpointing). Thresholds come from ``REPRO_HEALTH_*`` env vars.
+    monitor: bool = True
     #: Directory for per-chain posterior checkpoints (``chain_<i>.npz``).
     #: A refit with the same configuration restores finished chains instead
     #: of re-sampling them — the chain-level resume a killed cell relies on.
     checkpoint_dir: str | None = None
     posterior_: DPMHBPPosterior | None = field(default=None, repr=False)
     chain_posteriors_: list[DPMHBPPosterior] = field(default_factory=list, repr=False)
+    health_: HealthReport | None = field(default=None, repr=False)
     _factor: np.ndarray | None = field(default=None, repr=False)
 
     def fit(self, data: ModelData) -> "DPMHBPModel":
@@ -569,6 +648,7 @@ class DPMHBPModel(FailureModel):
                 np.mean([p.accept_rate_q for p in self.chain_posteriors_])
             ),
         )
+        self.health_ = self._pool_health() if self.monitor else None
         if self.covariates:
             counts = data.pipe_fail_train.sum(axis=1).astype(float)
             exposure = np.full(data.n_pipes, float(data.pipe_fail_train.shape[1]))
@@ -577,6 +657,32 @@ class DPMHBPModel(FailureModel):
         else:
             self._factor = np.ones(data.n_pipes)
         return self
+
+    def _pool_health(self) -> HealthReport:
+        """Fold the chains' per-sweep traces into one convergence report.
+
+        Chains run in (possibly process-pool) workers, so the monitor
+        cannot observe them live — their recorded traces are bulk-ingested
+        here instead. Post-burn-in sweeps only, matching what the pooled
+        posterior itself retains. Old checkpoints without sweep traces
+        contribute ``n_clusters`` only.
+        """
+        health = ChainHealth(burn_in=self.burn_in)
+        for posterior in self.chain_posteriors_:
+            series: dict[str, np.ndarray] = {
+                "n_clusters": np.asarray(posterior.n_clusters_trace, dtype=float)
+            }
+            if posterior.log_lik_trace.size:
+                series["log_lik"] = posterior.log_lik_trace
+            if posterior.accept_trace.size:
+                series["accept_q"] = posterior.accept_trace
+            health.ingest_chain(series)
+        report = health.report()
+        if self.checkpoint_dir is not None:
+            _write_json_atomic(
+                Path(self.checkpoint_dir) / "health.json", report.to_json()
+            )
+        return report
 
     def predict_pipe_risk(self, data: ModelData) -> np.ndarray:
         if self.posterior_ is None or self._factor is None:

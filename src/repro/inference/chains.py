@@ -28,6 +28,26 @@ class Trace:
         for name, value in quantities.items():
             self._samples.setdefault(name, []).append(np.asarray(value, dtype=float))
 
+    def extend(self, name: str, values: np.ndarray) -> None:
+        """Append many iterations of one *scalar* quantity at once.
+
+        Bulk ingestion for whole per-sweep series (e.g. a chain's cluster
+        count trace being pooled by the health monitor) without a Python
+        call per sample.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"extend takes a 1-D series, got shape {arr.shape}")
+        self._samples.setdefault(name, []).extend(np.asarray(v) for v in arr)
+
+    def scalar_names(self) -> list[str]:
+        """Names whose recorded samples are scalars (health-diagnosable)."""
+        return [
+            name
+            for name, samples in self._samples.items()
+            if samples and samples[0].ndim == 0
+        ]
+
     def __contains__(self, name: str) -> bool:
         return name in self._samples
 

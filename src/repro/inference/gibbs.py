@@ -14,12 +14,15 @@ of scalar diagnostics (e.g. acceptance indicators) to aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
 from .. import telemetry
 from .chains import Trace
+
+if TYPE_CHECKING:  # avoid importing the monitor stack at module load
+    from ..monitor.health import ChainHealth
 
 BlockUpdater = Callable[[dict, np.random.Generator], Mapping[str, float]]
 TraceFn = Callable[[dict], Mapping[str, float | np.ndarray]]
@@ -37,11 +40,17 @@ class GibbsSampler:
         Source of randomness for every block.
     trace_fn:
         Maps the state to the quantities recorded after each sweep.
+    monitor:
+        Optional :class:`~repro.monitor.ChainHealth`; every sweep's block
+        diagnostics and scalar trace quantities are recorded into it
+        (chain ``monitor_chain``) for an end-of-run convergence verdict.
     """
 
     state: dict
     rng: np.random.Generator
     trace_fn: TraceFn | None = None
+    monitor: "ChainHealth | None" = None
+    monitor_chain: int = 0
     _blocks: list[tuple[str, BlockUpdater]] = field(default_factory=list)
     trace: Trace = field(default_factory=Trace)
     diagnostics: dict[str, list[float]] = field(default_factory=dict)
@@ -57,12 +66,28 @@ class GibbsSampler:
         """One full pass over all blocks, recording diagnostics and trace."""
         if not self._blocks:
             raise RuntimeError("no blocks registered")
+        # Scalars are only assembled when a monitor is attached: the
+        # unmonitored sweep path must stay as cheap as before the health
+        # layer existed (the perf smoke's `health_noop` pins this).
+        monitor = self.monitor
+        scalars: dict[str, float] | None = {} if monitor is not None else None
         for name, updater in self._blocks:
             stats = updater(self.state, self.rng)
             for key, value in stats.items():
-                self.diagnostics.setdefault(f"{name}.{key}", []).append(float(value))
+                v = float(value)
+                self.diagnostics.setdefault(f"{name}.{key}", []).append(v)
+                if scalars is not None:
+                    scalars[f"{name}.{key}"] = v
         if self.trace_fn is not None:
-            self.trace.record(**self.trace_fn(self.state))
+            quantities = self.trace_fn(self.state)
+            self.trace.record(**quantities)
+            if scalars is not None:
+                for key, value in quantities.items():
+                    arr = np.asarray(value)
+                    if arr.ndim == 0:
+                        scalars[key] = float(arr)
+        if monitor is not None:
+            monitor.on_sweep(scalars, chain=self.monitor_chain)
         telemetry.count("gibbs.sweeps")
 
     def run(self, n_sweeps: int, callback: Callable[[int, dict], None] | None = None) -> Trace:

@@ -1,0 +1,48 @@
+"""Model-health monitoring: convergence verdicts, metric drift, doctor.
+
+Three layers on top of the telemetry and diagnostics primitives:
+
+* :mod:`repro.monitor.health` — :class:`ChainHealth` records per-sweep
+  scalars from the samplers and folds them into a :class:`HealthReport`
+  (per-quantity ESS / Geweke z / split-R̂ with a pass/warn/fail verdict);
+* :mod:`repro.monitor.drift` — per-cell metric history in the run
+  journal, compared against saved ``HEALTH_<rev>.json`` baselines;
+* :mod:`repro.monitor.doctor` — the ``repro doctor <run_dir>``
+  subcommand: convergence tables, drift flags, failure context, and CI
+  exit codes (0 healthy / 1 warnings / 2 failures).
+"""
+
+from .doctor import DoctorReport, diagnose
+from .drift import (
+    DEFAULT_BAND,
+    DriftFlag,
+    DriftReport,
+    compare_run,
+    compare_to_baseline,
+    load_baseline,
+    metrics_snapshot,
+    save_baseline,
+)
+from .health import (
+    ChainHealth,
+    HealthReport,
+    HealthThresholds,
+    QuantityHealth,
+)
+
+__all__ = [
+    "DEFAULT_BAND",
+    "ChainHealth",
+    "DoctorReport",
+    "DriftFlag",
+    "DriftReport",
+    "HealthReport",
+    "HealthThresholds",
+    "QuantityHealth",
+    "compare_run",
+    "compare_to_baseline",
+    "diagnose",
+    "load_baseline",
+    "metrics_snapshot",
+    "save_baseline",
+]

@@ -1,0 +1,95 @@
+"""``python -m repro.monitor`` — the metric-drift command line.
+
+Subcommands
+-----------
+``save``     snapshot a run directory's per-cell metrics to ``HEALTH_<rev>.json``
+``compare``  re-read a run directory and fail (exit 1) when any cell's
+             metric drifted beyond the band vs. a baseline snapshot
+             (latest ``HEALTH_*.json`` by default)
+
+Wired to ``make health-save`` and ``make health-compare``; the fuller
+single-run inspection (convergence tables, failure context) lives in
+``repro doctor``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .drift import (
+    DEFAULT_BAND,
+    compare_to_baseline,
+    latest_baseline,
+    load_baseline,
+    metrics_snapshot,
+    save_baseline,
+)
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    path = save_baseline(args.run_dir, directory=args.dir, rev=args.rev)
+    payload = load_baseline(path)
+    n_metrics = sum(
+        len(metrics)
+        for models in payload["cells"].values()
+        for metrics in models.values()
+    )
+    print(f"snapshotted {len(payload['cells'])} cell(s), {n_metrics} metric(s)")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline_path = args.baseline or latest_baseline(args.dir)
+    if baseline_path is None:
+        print(
+            f"no HEALTH_*.json baseline found in {Path(args.dir).resolve()}",
+            file=sys.stderr,
+        )
+        return 2
+    report = compare_to_baseline(
+        load_baseline(baseline_path), metrics_snapshot(args.run_dir), band=args.band
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"baseline: {baseline_path}")
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.monitor", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("save", help="snapshot run metrics to HEALTH_<rev>.json")
+    p.add_argument("run_dir", help="journalled run directory to snapshot")
+    p.add_argument("--dir", default=".", help="directory for the snapshot")
+    p.add_argument("--rev", default=None, help="revision label (default: git short rev)")
+    p.set_defaults(func=_cmd_save)
+
+    p = sub.add_parser("compare", help="flag metric drift vs. a baseline")
+    p.add_argument("run_dir", help="journalled run directory to compare")
+    p.add_argument("baseline", nargs="?", default=None, help="baseline snapshot path")
+    p.add_argument("--dir", default=".", help="where to look for the latest baseline")
+    p.add_argument(
+        "--band",
+        type=float,
+        default=DEFAULT_BAND,
+        help="drift band (absolute for [0,1] metrics, relative otherwise)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

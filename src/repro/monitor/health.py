@@ -1,0 +1,433 @@
+"""Chain-health monitoring: per-sweep scalars → convergence verdicts.
+
+The convergence diagnostics in :mod:`repro.inference.diagnostics` were a
+dead-end library until this module: nothing called them, so a silently
+divergent chain produced a confident Table 18.3 row. :class:`ChainHealth`
+closes that loop — it records per-sweep scalars (cluster count, collapsed
+log-likelihood, acceptance rates) into one :class:`~repro.inference.chains.Trace`
+per chain, and at fit end folds per-quantity ESS, Geweke z and pooled
+split-R̂ into a :class:`HealthReport` with a pass/warn/fail verdict.
+
+Thresholds are tunable via keyword arguments or ``REPRO_HEALTH_*``
+environment variables (``REPRO_HEALTH_RHAT_WARN=1.05`` etc.); see
+:class:`HealthThresholds`.
+
+``nan`` diagnostics keep the meaning the diagnostics module defines:
+**undiagnosable**. An undiagnosable statistic never passes *or* fails a
+quantity — it is reported as-is and excluded from the verdict, so a
+degenerate (constant) quantity cannot masquerade as a converged one and
+cannot fail an otherwise healthy fit either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .. import telemetry
+from ..inference.chains import Trace
+from ..inference.diagnostics import (
+    effective_sample_size,
+    geweke_zscore,
+    split_rhat,
+)
+
+#: Environment-variable prefix for threshold overrides.
+HEALTH_ENV_PREFIX = "REPRO_HEALTH_"
+
+#: Verdict severity order (worst wins when folding quantities together).
+VERDICTS = ("pass", "warn", "fail")
+
+#: Numeric code exported as the ``chain.health`` gauge.
+VERDICT_CODES = {"pass": 0.0, "undiagnosable": 1.0, "warn": 1.0, "fail": 2.0}
+
+#: Geweke needs this many retained samples to say anything.
+MIN_GEWEKE_SAMPLES = 20
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tunable pass/warn/fail bands for the convergence statistics.
+
+    ``rhat`` and ``|geweke z|`` escalate when they *exceed* their bound;
+    ``ess`` (summed across chains) escalates when it *falls below* its
+    bound. Defaults are the conventional conservative choices (R̂ 1.1 /
+    1.3, |z| 2.5 / 4, ESS 25 / 10).
+    """
+
+    rhat_warn: float = 1.1
+    rhat_fail: float = 1.3
+    ess_warn: float = 25.0
+    ess_fail: float = 10.0
+    geweke_warn: float = 2.5
+    geweke_fail: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (1.0 <= self.rhat_warn <= self.rhat_fail):
+            raise ValueError("need 1.0 <= rhat_warn <= rhat_fail")
+        if not (0.0 <= self.ess_fail <= self.ess_warn):
+            raise ValueError("need 0 <= ess_fail <= ess_warn")
+        if not (0.0 < self.geweke_warn <= self.geweke_fail):
+            raise ValueError("need 0 < geweke_warn <= geweke_fail")
+
+    @classmethod
+    def from_env(cls, **overrides: float | None) -> "HealthThresholds":
+        """Defaults ← ``REPRO_HEALTH_<FIELD>`` env vars ← explicit kwargs."""
+        values: dict[str, float] = {}
+        for f in dataclasses.fields(cls):
+            raw = os.environ.get(HEALTH_ENV_PREFIX + f.name.upper())
+            if raw is None:
+                continue
+            try:
+                values[f.name] = float(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{HEALTH_ENV_PREFIX}{f.name.upper()}={raw!r} is not a number"
+                ) from exc
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _nan_to_none(value: float) -> float | None:
+    return None if value is None or not np.isfinite(value) else float(value)
+
+
+def _none_to_nan(value: float | None) -> float:
+    return float("nan") if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class QuantityHealth:
+    """Convergence diagnostics of one scalar quantity across the chains."""
+
+    name: str
+    n_chains: int
+    n_samples: int  # retained per chain (after trimming to the shortest)
+    mean: float
+    ess: float  # summed across chains; nan = undiagnosable
+    geweke_z: float  # worst |z| across chains (signed); nan = undiagnosable
+    rhat: float  # pooled split-R̂; nan = undiagnosable
+    verdict: str  # "pass" | "warn" | "fail" | "undiagnosable"
+    reasons: tuple[str, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n_chains": self.n_chains,
+            "n_samples": self.n_samples,
+            "mean": _nan_to_none(self.mean),
+            "ess": _nan_to_none(self.ess),
+            "geweke_z": _nan_to_none(self.geweke_z),
+            "rhat": _nan_to_none(self.rhat),
+            "verdict": self.verdict,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "QuantityHealth":
+        return cls(
+            name=str(payload["name"]),
+            n_chains=int(payload["n_chains"]),
+            n_samples=int(payload["n_samples"]),
+            mean=_none_to_nan(payload.get("mean")),
+            ess=_none_to_nan(payload.get("ess")),
+            geweke_z=_none_to_nan(payload.get("geweke_z")),
+            rhat=_none_to_nan(payload.get("rhat")),
+            verdict=str(payload["verdict"]),
+            reasons=tuple(payload.get("reasons") or ()),
+        )
+
+
+@dataclass
+class HealthReport:
+    """Every monitored quantity's diagnostics plus the folded verdict."""
+
+    quantities: dict[str, QuantityHealth]
+    thresholds: HealthThresholds = field(default_factory=HealthThresholds)
+    verdict: str = "undiagnosable"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "pass"
+
+    def worst_rhat(self) -> float:
+        """Largest finite pooled R̂, or nan when none is diagnosable."""
+        finite = [
+            q.rhat for q in self.quantities.values() if np.isfinite(q.rhat)
+        ]
+        return max(finite) if finite else float("nan")
+
+    def to_json(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "thresholds": self.thresholds.to_json(),
+            "quantities": {
+                name: q.to_json() for name, q in self.quantities.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "HealthReport":
+        return cls(
+            quantities={
+                name: QuantityHealth.from_json(entry)
+                for name, entry in (payload.get("quantities") or {}).items()
+            },
+            thresholds=HealthThresholds(**(payload.get("thresholds") or {})),
+            verdict=str(payload.get("verdict", "undiagnosable")),
+        )
+
+    def publish_gauges(self) -> None:
+        """Export the report's statistics as telemetry gauges.
+
+        ``chain.rhat.<q>`` / ``chain.ess.<q>`` / ``chain.geweke.<q>`` per
+        quantity, plus the summary gauges ``chain.rhat`` (worst finite R̂)
+        and ``chain.health`` (0 pass / 1 warn / 2 fail). The Prometheus
+        exporter renders these as ``repro_chain_rhat`` etc. No-ops when
+        telemetry is disabled.
+        """
+        if not telemetry.enabled():
+            return
+        for name, q in self.quantities.items():
+            if np.isfinite(q.rhat):
+                telemetry.gauge(f"chain.rhat.{name}", q.rhat)
+            if np.isfinite(q.ess):
+                telemetry.gauge(f"chain.ess.{name}", q.ess)
+            if np.isfinite(q.geweke_z):
+                telemetry.gauge(f"chain.geweke.{name}", q.geweke_z)
+        worst = self.worst_rhat()
+        if np.isfinite(worst):
+            telemetry.gauge("chain.rhat", worst)
+        telemetry.gauge("chain.health", VERDICT_CODES.get(self.verdict, 1.0))
+
+    def format(self) -> str:
+        """Render the per-quantity convergence table plus the verdict."""
+        lines = [
+            f"{'quantity':<16s} {'chains':>6s} {'samples':>8s} {'mean':>10s}"
+            f" {'ESS':>8s} {'geweke z':>9s} {'R-hat':>7s}  verdict"
+        ]
+
+        def cell(value: float, fmt: str) -> str:
+            return format(value, fmt) if np.isfinite(value) else "nan"
+
+        for q in self.quantities.values():
+            lines.append(
+                f"{q.name:<16s} {q.n_chains:>6d} {q.n_samples:>8d}"
+                f" {cell(q.mean, '>10.4g'):>10s} {cell(q.ess, '>8.1f'):>8s}"
+                f" {cell(q.geweke_z, '>9.2f'):>9s} {cell(q.rhat, '>7.3f'):>7s}"
+                f"  {q.verdict}"
+                + (f"  ({'; '.join(q.reasons)})" if q.reasons else "")
+            )
+        lines.append(f"health verdict: {self.verdict.upper()}")
+        return "\n".join(lines)
+
+
+def _classify(
+    name: str,
+    ess: float,
+    geweke_z: float,
+    rhat: float,
+    thresholds: HealthThresholds,
+) -> tuple[str, tuple[str, ...]]:
+    """Fold the three statistics into one per-quantity verdict.
+
+    Undiagnosable (nan) statistics are skipped: they can neither pass nor
+    fail the quantity. A quantity with *no* diagnosable statistic is
+    "undiagnosable" overall.
+    """
+    level = -1  # -1 undiagnosable, 0 pass, 1 warn, 2 fail
+    reasons: list[str] = []
+    if np.isfinite(rhat):
+        if rhat >= thresholds.rhat_fail:
+            level = max(level, 2)
+            reasons.append(f"R-hat {rhat:.3f} >= {thresholds.rhat_fail}")
+        elif rhat >= thresholds.rhat_warn:
+            level = max(level, 1)
+            reasons.append(f"R-hat {rhat:.3f} >= {thresholds.rhat_warn}")
+        else:
+            level = max(level, 0)
+    if np.isfinite(ess):
+        if ess < thresholds.ess_fail:
+            level = max(level, 2)
+            reasons.append(f"ESS {ess:.1f} < {thresholds.ess_fail}")
+        elif ess < thresholds.ess_warn:
+            level = max(level, 1)
+            reasons.append(f"ESS {ess:.1f} < {thresholds.ess_warn}")
+        else:
+            level = max(level, 0)
+    if np.isfinite(geweke_z):
+        if abs(geweke_z) >= thresholds.geweke_fail:
+            level = max(level, 2)
+            reasons.append(f"|geweke z| {abs(geweke_z):.2f} >= {thresholds.geweke_fail}")
+        elif abs(geweke_z) >= thresholds.geweke_warn:
+            level = max(level, 1)
+            reasons.append(f"|geweke z| {abs(geweke_z):.2f} >= {thresholds.geweke_warn}")
+        else:
+            level = max(level, 0)
+    verdict = {-1: "undiagnosable", 0: "pass", 1: "warn", 2: "fail"}[level]
+    return verdict, tuple(reasons)
+
+
+class ChainHealth:
+    """Per-sweep scalar recorder and end-of-fit convergence judge.
+
+    Two ways in:
+
+    * **live** — pass :meth:`as_callback` as a sampler's per-sweep hook
+      (``DPMHBP(sweep_callback=...)``, ``GibbsSampler(monitor=...)``);
+      every sweep's scalars are recorded into the chain's
+      :class:`~repro.inference.chains.Trace` and mirrored to telemetry
+      gauges (``chain.<name>``) when telemetry is on;
+    * **bulk** — :meth:`ingest_chain` whole per-sweep series after the
+      fact (how :class:`~repro.core.dpmhbp.DPMHBPModel` pools its
+      worker-fitted chains).
+
+    :meth:`report` trims every chain's series to the shortest, drops
+    ``burn_in`` leading sweeps, and computes per-quantity ESS (summed
+    across chains), the worst per-chain Geweke z, and the pooled
+    split-R̂.
+    """
+
+    def __init__(
+        self,
+        thresholds: HealthThresholds | None = None,
+        burn_in: int = 0,
+        **threshold_overrides: float,
+    ):
+        if thresholds is not None and threshold_overrides:
+            raise ValueError("pass thresholds= or individual overrides, not both")
+        self.thresholds = (
+            thresholds
+            if thresholds is not None
+            else HealthThresholds.from_env(**threshold_overrides)
+        )
+        if burn_in < 0:
+            raise ValueError("burn_in must be >= 0")
+        self.burn_in = int(burn_in)
+        self._chains: dict[int, Trace] = {}
+
+    # ------------------------------------------------------------ recording
+    def chain_trace(self, chain: int = 0) -> Trace:
+        """The (created-on-demand) per-sweep trace of one chain."""
+        return self._chains.setdefault(chain, Trace())
+
+    @property
+    def n_chains(self) -> int:
+        return len(self._chains)
+
+    def on_sweep(self, scalars: Mapping[str, float], chain: int = 0) -> None:
+        """Record one sweep's scalar quantities for ``chain``."""
+        clean = {name: float(value) for name, value in scalars.items()}
+        self.chain_trace(chain).record(**clean)
+        if telemetry.enabled():
+            for name, value in clean.items():
+                telemetry.gauge(f"chain.{name}", value)
+
+    def as_callback(self, chain: int = 0):
+        """A ``(sweep, scalars) -> None`` hook bound to one chain index."""
+
+        def callback(sweep: int, scalars: Mapping[str, float]) -> None:
+            self.on_sweep(scalars, chain=chain)
+
+        return callback
+
+    def ingest_chain(
+        self, quantities: Mapping[str, np.ndarray], chain: int | None = None
+    ) -> int:
+        """Bulk-add one chain's per-sweep series; returns its chain index."""
+        index = chain if chain is not None else (max(self._chains, default=-1) + 1)
+        trace = self.chain_trace(index)
+        for name, values in quantities.items():
+            trace.extend(name, np.asarray(values, dtype=float).ravel())
+        return index
+
+    # ------------------------------------------------------------- verdicts
+    def report(self, publish: bool = True) -> HealthReport:
+        """Compute the :class:`HealthReport` over everything recorded.
+
+        ``publish=True`` (default) also exports the statistics as
+        telemetry gauges via :meth:`HealthReport.publish_gauges`.
+        """
+        chain_ids = sorted(self._chains)
+        names: list[str] = []
+        for cid in chain_ids:
+            for name in self._chains[cid].scalar_names():
+                if name not in names:
+                    names.append(name)
+
+        quantities: dict[str, QuantityHealth] = {}
+        for name in names:
+            series = []
+            for cid in chain_ids:
+                trace = self._chains[cid]
+                if name not in trace:
+                    continue
+                samples = trace.get(name, burn_in=self.burn_in)
+                if samples.ndim == 1 and samples.size > 0:
+                    series.append(samples)
+            if not series:
+                continue
+            n = min(s.size for s in series)
+            trimmed = np.stack([s[:n] for s in series])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ess = self._pooled_ess(trimmed)
+                geweke = self._worst_geweke(trimmed)
+                rhat = split_rhat(trimmed) if n >= 4 else float("nan")
+            verdict, reasons = _classify(name, ess, geweke, rhat, self.thresholds)
+            quantities[name] = QuantityHealth(
+                name=name,
+                n_chains=trimmed.shape[0],
+                n_samples=n,
+                mean=float(trimmed.mean()),
+                ess=ess,
+                geweke_z=geweke,
+                rhat=rhat,
+                verdict=verdict,
+                reasons=reasons,
+            )
+
+        verdict = self._fold_verdicts(q.verdict for q in quantities.values())
+        report = HealthReport(
+            quantities=quantities, thresholds=self.thresholds, verdict=verdict
+        )
+        if publish:
+            report.publish_gauges()
+        return report
+
+    @staticmethod
+    def _pooled_ess(chains: np.ndarray) -> float:
+        """Summed per-chain ESS; nan only when *every* chain is undiagnosable."""
+        values = [effective_sample_size(chain) for chain in chains]
+        finite = [v for v in values if np.isfinite(v)]
+        return float(sum(finite)) if finite else float("nan")
+
+    @staticmethod
+    def _worst_geweke(chains: np.ndarray) -> float:
+        """The per-chain z with the largest magnitude (signed); nan if none."""
+        worst = float("nan")
+        for chain in chains:
+            if chain.size < MIN_GEWEKE_SAMPLES:
+                continue
+            z = geweke_zscore(chain)
+            if np.isfinite(z) and (not np.isfinite(worst) or abs(z) > abs(worst)):
+                worst = z
+        return worst
+
+    @staticmethod
+    def _fold_verdicts(verdicts) -> str:
+        """Worst diagnosable verdict; "undiagnosable" only when nothing is."""
+        folded = "undiagnosable"
+        rank = {"undiagnosable": -1, "pass": 0, "warn": 1, "fail": 2}
+        level = -1
+        for verdict in verdicts:
+            if rank.get(verdict, -1) > level:
+                level = rank[verdict]
+                folded = verdict
+        return folded

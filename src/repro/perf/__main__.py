@@ -73,7 +73,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 
     from ..core.dpmhbp import DPMHBP
     from ..core.ranking.objective import empirical_auc
-    from .benchmarks import make_telemetry_noop
+    from .benchmarks import make_health_noop, make_telemetry_noop
 
     rng = np.random.default_rng(0)
     failures = (rng.random((500, 11)) < 0.02).astype(np.int8)
@@ -91,6 +91,9 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         # effectively free, or the permanent hot-path instrumentation is
         # taxing every sweep (see telemetry.recorder).
         "telemetry_noop_200k": make_telemetry_noop(),
+        # Unmonitored-sweep overhead: the health hook with monitor=None
+        # must stay one None check per sweep (see inference.gibbs).
+        "health_noop_50k": make_health_noop(),
     }
     failed = False
     for name, fn in checks.items():

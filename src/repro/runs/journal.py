@@ -289,6 +289,38 @@ class RunJournal:
         return {p.stem for p in base.glob("*.json") if not p.name.endswith(".failed.json")
                 and (base / f"{p.stem}.npz").exists()}
 
+    def cell_metrics(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Per-cell, per-model scalar metrics from the completion markers.
+
+        Shape ``{cell_id: {model_name: {metric: value}}}``, reading only
+        the lightweight ``.json`` records (no array loads, no checksum
+        validation) — the metric history the drift tracker compares
+        across revisions. Unreadable markers are skipped, matching
+        :meth:`failed_cells`.
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        base = self.run_dir / CELLS_DIR
+        for path in sorted(base.glob("*.json")):
+            if path.name.endswith(".failed.json"):
+                continue
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            models: dict[str, dict[str, float]] = {}
+            for entry in record.get("models", []):
+                name = entry.get("name")
+                if not name:
+                    continue
+                models[str(name)] = {
+                    key: float(value)
+                    for key, value in entry.items()
+                    if key not in ("name", "budget")
+                    and isinstance(value, (int, float))
+                }
+            out[str(record.get("cell_id", path.stem))] = models
+        return out
+
     def failed_cells(self) -> dict[str, dict]:
         """Latest recorded failure per cell id (cells may later succeed)."""
         out = {}

@@ -31,6 +31,13 @@ from .aggregate import (
     read_trace,
     summarize_trace,
 )
+from .prometheus import (
+    METRIC_PREFIX,
+    render_metrics,
+    render_recorder,
+    sanitize_metric_name,
+    write_metrics,
+)
 from .recorder import (
     MAX_RETAINED_SPANS,
     TRACE_ENV,
@@ -50,6 +57,7 @@ from .status import TRACE_NAME, CellStatus, RunStatus, format_status, run_status
 
 __all__ = [
     "MAX_RETAINED_SPANS",
+    "METRIC_PREFIX",
     "TRACE_ENV",
     "TRACE_NAME",
     "CellStatus",
@@ -70,8 +78,12 @@ __all__ = [
     "gauge",
     "get_recorder",
     "read_trace",
+    "render_metrics",
+    "render_recorder",
     "run_status",
+    "sanitize_metric_name",
     "span",
     "summarize_trace",
     "timed_iter",
+    "write_metrics",
 ]

@@ -143,13 +143,15 @@ def format_trace_report(summary: dict, top: int = 15) -> str:
             lines.append(f"… {len(ranked) - top} more span name(s)")
     counters = summary.get("counters", {})
     if counters:
-        lines.append("")
+        if lines:  # blank separator only between sections, never leading
+            lines.append("")
         lines.append("counters:")
         for name in sorted(counters):
             lines.append(f"  {name:<30s} {counters[name]:>12g}")
     gauges = summary.get("gauges", {})
     if gauges:
-        lines.append("")
+        if lines:
+            lines.append("")
         lines.append("gauges:")
         for name in sorted(gauges):
             lines.append(f"  {name:<30s} {gauges[name]:>12.4g}")

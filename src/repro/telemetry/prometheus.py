@@ -1,0 +1,117 @@
+"""Prometheus text exposition of the telemetry counters and gauges.
+
+The recorder's counters/gauges map 1:1 onto Prometheus' two simplest
+metric types, so a run can drop a scrape-ready snapshot next to its
+journal with zero dependencies: every CLI subcommand takes
+``--metrics-out PATH`` and writes the process' final counter and gauge
+state in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# TYPE`` line per metric, one sample per line, ``_total``-suffixed
+counters. A node-exporter-style textfile collector (or any scraper of
+static files) picks it up as-is.
+
+Dotted telemetry names map to Prometheus' underscore convention:
+``chain.rhat.n_clusters`` → ``repro_chain_rhat_n_clusters``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from .recorder import TelemetryRecorder, get_recorder
+
+#: Namespace prefix for every exported metric.
+METRIC_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def sanitize_metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """Telemetry name → valid prefixed Prometheus metric name.
+
+    Dots (and any other invalid character) become underscores; a leading
+    digit after prefixing cannot happen because the prefix starts the
+    name. Idempotent on already-valid names.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name.strip())
+    candidate = f"{prefix}{cleaned}"
+    if not _VALID_NAME.match(candidate):
+        raise ValueError(f"cannot form a Prometheus metric name from {name!r}")
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_metrics(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float],
+    prefix: str = METRIC_PREFIX,
+) -> str:
+    """Render counter/gauge mappings as Prometheus exposition text.
+
+    Counters get the conventional ``_total`` suffix; both families are
+    emitted sorted so the output is diff-stable across runs. The returned
+    text ends with a newline (required by the format).
+    """
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = sanitize_metric_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_recorder(
+    recorder: TelemetryRecorder | None = None, prefix: str = METRIC_PREFIX
+) -> str:
+    """Exposition text for a recorder's current counters and gauges."""
+    snapshot = (recorder or get_recorder()).snapshot()
+    return render_metrics(snapshot["counters"], snapshot["gauges"], prefix=prefix)
+
+
+def write_metrics(
+    path: str | Path,
+    recorder: TelemetryRecorder | None = None,
+    prefix: str = METRIC_PREFIX,
+) -> Path:
+    """Atomically write the recorder's metrics to ``path``.
+
+    Same-directory temp file + ``os.replace``, matching the journal's
+    write discipline — a scraper never reads a torn metrics file.
+    """
+    path = Path(path)
+    text = render_recorder(recorder, prefix=prefix)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

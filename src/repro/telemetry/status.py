@@ -174,7 +174,10 @@ def format_status(status: RunStatus, verbose: bool = False) -> str:
         lines.append(f"  region {region:<4s} [{strip}] {done}/{len(region_cells)}")
 
     timed = [c for c in status.cells if c.duration_s is not None]
-    if timed:
+    # Verbose renders the table even when nothing has a duration yet (a
+    # freshly started or traced-but-uncompleted run has cells worth
+    # listing); the total/mean footer still needs at least one timing.
+    if timed or (verbose and status.cells):
         lines.append("")
         lines.append(f"{'cell':<12s} {'state':<8s} {'attempts':>8s} {'duration':>10s}")
         for cell in status.cells:
@@ -184,11 +187,12 @@ def format_status(status: RunStatus, verbose: bool = False) -> str:
             lines.append(
                 f"{cell.cell_id:<12s} {cell.state:<8s} {cell.attempts:>8d} {dur:>10s}"
             )
-        total_s = sum(c.duration_s for c in timed)
-        mean_s = total_s / len(timed)
-        lines.append(
-            f"cell time: total {total_s:.2f}s, mean {mean_s:.2f}s over {len(timed)} cell(s)"
-        )
+        if timed:
+            total_s = sum(c.duration_s for c in timed)
+            mean_s = total_s / len(timed)
+            lines.append(
+                f"cell time: total {total_s:.2f}s, mean {mean_s:.2f}s over {len(timed)} cell(s)"
+            )
 
     failures = [c for c in status.cells if c.state == "failed"]
     if failures:

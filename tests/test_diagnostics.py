@@ -61,6 +61,16 @@ class TestESS:
     def test_tiny_chain(self):
         assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
 
+    def test_constant_chain_is_nan(self):
+        # nan means "undiagnosable", never the flattering ESS == n.
+        assert np.isnan(effective_sample_size(np.full(100, 3.7)))
+
+    def test_constant_length_3_is_nan(self):
+        assert np.isnan(effective_sample_size(np.zeros(3)))
+
+    def test_varying_length_3_is_n(self):
+        assert effective_sample_size(np.array([1.0, 2.0, 3.0])) == 3.0
+
 
 class TestGeweke:
     def test_stationary_chain_small_z(self, rng):
@@ -79,6 +89,15 @@ class TestGeweke:
         with pytest.raises(ValueError):
             geweke_zscore(rng.standard_normal(100), first=0.7, last=0.7)
 
+    def test_constant_chain_is_nan_not_zero(self):
+        # A constant chain is undiagnosable — not "perfectly converged".
+        assert np.isnan(geweke_zscore(np.full(200, 2.5)))
+
+    def test_constant_window_is_nan(self, rng):
+        # Early window constant, late window varying: no defined z-score.
+        x = np.concatenate([np.zeros(100), rng.standard_normal(900)])
+        assert np.isnan(geweke_zscore(x))
+
 
 class TestSplitRhat:
     def test_well_mixed_near_one(self, rng):
@@ -94,12 +113,34 @@ class TestSplitRhat:
         x = np.linspace(0, 10, 1000) + 0.01 * rng.standard_normal(1000)
         assert split_rhat(x) > 1.5
 
-    def test_constant_chain_is_one(self):
-        assert split_rhat(np.ones((2, 100))) == 1.0
+    def test_constant_chains_are_nan(self):
+        # Identical constant chains prove the quantity degenerate, not mixed.
+        assert np.isnan(split_rhat(np.ones((2, 100))))
+
+    def test_disjoint_constant_chains_are_nan(self):
+        # W == 0 with B > 0: the ratio is undefined, not "infinitely bad".
+        chains = np.vstack([np.zeros(50), np.ones(50)])
+        assert np.isnan(split_rhat(chains))
 
     def test_too_short_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least 4 samples"):
             split_rhat(np.ones((2, 3)))
+
+    def test_length_3_single_chain_raises_clearly(self):
+        with pytest.raises(ValueError, match="at least 4 samples"):
+            split_rhat(np.array([1.0, 2.0, 3.0]))
+
+    def test_three_dim_input_raises(self):
+        with pytest.raises(ValueError, match="n_chains"):
+            split_rhat(np.zeros((2, 2, 8)))
+
+    def test_odd_length_drops_last_sample(self, rng):
+        # Documented: odd n uses the first 2*(n//2) samples, so a wild
+        # final sample cannot move the statistic.
+        chains = rng.standard_normal((4, 101))
+        spiked = chains.copy()
+        spiked[:, -1] = 1e9
+        assert split_rhat(spiked) == pytest.approx(split_rhat(chains[:, :100]))
 
 
 class TestSummarise:
@@ -108,3 +149,18 @@ class TestSummarise:
         s = summarise_chain(x)
         assert set(s) == {"mean", "sd", "ess", "q05", "q95"}
         assert s["q05"] < s["mean"] < s["q95"]
+
+    def test_constant_chain_carries_nan_ess(self):
+        s = summarise_chain(np.full(50, 1.5))
+        assert s["mean"] == 1.5 and s["sd"] == 0.0
+        assert np.isnan(s["ess"])
+
+    def test_length_3_chain_does_not_raise(self):
+        s = summarise_chain(np.array([1.0, 2.0, 4.0]))
+        assert s["ess"] == 3.0
+        s_const = summarise_chain(np.zeros(3))
+        assert np.isnan(s_const["ess"])
+
+    def test_odd_length_chain_summarises(self, rng):
+        s = summarise_chain(rng.standard_normal(101))
+        assert np.isfinite(s["ess"])

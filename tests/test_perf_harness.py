@@ -40,6 +40,7 @@ class TestTiming:
             "es_generation",
             "run_journal",
             "telemetry_noop",
+            "health_noop",
         }
 
     def test_unknown_benchmark_rejected(self):

@@ -31,8 +31,12 @@ from repro.telemetry import (
     format_status,
     format_trace_report,
     read_trace,
+    render_metrics,
+    render_recorder,
     run_status,
+    sanitize_metric_name,
     summarize_trace,
+    write_metrics,
 )
 
 
@@ -333,6 +337,38 @@ class TestRunStatus:
         with pytest.raises(JournalError, match="not a run directory"):
             run_status(tmp_path)
 
+    def test_gauges_only_trace_with_zero_completed_cells(self, tmp_path):
+        """Regression: a traced run that completed nothing renders cleanly.
+
+        A run can die (or still be warming up) after writing only gauge
+        lines — no spans, no counters, no completed cells. The report must
+        not open its trace section with a stray blank line, and verbose
+        must still list the pending cells even though none has a timing.
+        """
+        run_dir = tmp_path / "run"
+        RunJournal.create(run_dir, {"regions": ["A"], "n_repeats": 2})
+        telemetry.configure(trace_path=run_dir / TRACE_NAME)
+        telemetry.gauge("chain.rhat", 1.02)
+        telemetry.flush()
+        telemetry.disable()
+
+        status = run_status(run_dir)
+        assert status.counts() == {"done": 0, "failed": 0, "running": 0, "pending": 2}
+        assert status.trace_summary["gauges"] == {"chain.rhat": 1.02}
+
+        text = format_status(status)
+        # The gauge table follows the trace header directly — no leading
+        # blank separator when spans and counters are absent.
+        assert f"trace ({TRACE_NAME}):\ngauges:" in text
+        assert "chain.rhat" in text
+
+        verbose = format_status(status, verbose=True)
+        assert f"{'A-r000':<12s} pending" in verbose
+        assert f"{'A-r001':<12s} pending" in verbose
+        # No timed cell: the duration column shows the placeholder and the
+        # total/mean footer is withheld.
+        assert "cell time:" not in verbose
+
 
 class TestStatusCLI:
     def test_in_flight_exits_zero(self, tmp_path, capsys):
@@ -360,3 +396,95 @@ class TestStatusCLI:
         # The flag's enablement is scoped to the command: global state restored.
         assert not telemetry.enabled()
         assert TRACE_ENV not in os.environ
+
+
+class TestPrometheusExporter:
+    def test_sanitize_maps_dots_to_underscores(self):
+        assert sanitize_metric_name("chain.rhat.n_clusters") == (
+            "repro_chain_rhat_n_clusters"
+        )
+        # Idempotent on already-valid names, custom prefixes respected.
+        assert sanitize_metric_name("gibbs_sweeps") == "repro_gibbs_sweeps"
+        assert sanitize_metric_name("x.y", prefix="pfx_") == "pfx_x_y"
+        with pytest.raises(ValueError):
+            sanitize_metric_name("", prefix="")
+
+    def test_render_emits_typed_sorted_families(self):
+        text = render_metrics(
+            {"dpmhbp.sweeps": 40.0, "gibbs.sweeps": 120.0},
+            {"chain.rhat": 1.0171, "chain.health": 0.0},
+        )
+        lines = text.splitlines()
+        # Counters first (sorted, _total-suffixed), then gauges (sorted).
+        assert lines == [
+            "# TYPE repro_dpmhbp_sweeps_total counter",
+            "repro_dpmhbp_sweeps_total 40",
+            "# TYPE repro_gibbs_sweeps_total counter",
+            "repro_gibbs_sweeps_total 120",
+            "# TYPE repro_chain_health gauge",
+            "repro_chain_health 0",
+            "# TYPE repro_chain_rhat gauge",
+            "repro_chain_rhat 1.0171",
+        ]
+        assert text.endswith("\n")
+
+    def test_total_suffix_not_doubled(self):
+        text = render_metrics({"sweeps_total": 3.0}, {})
+        assert "repro_sweeps_total 3" in text
+        assert "total_total" not in text
+
+    def test_non_finite_values_use_prometheus_literals(self):
+        text = render_metrics({}, {
+            "nan": float("nan"),
+            "pos": float("inf"),
+            "neg": float("-inf"),
+        })
+        assert "repro_nan NaN" in text
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+
+    def test_empty_recorder_renders_empty_string(self):
+        assert render_metrics({}, {}) == ""
+
+    def test_render_recorder_reads_live_state(self):
+        telemetry.configure(enabled=True)
+        telemetry.count("gibbs.sweeps", 7)
+        telemetry.gauge("chain.rhat", 1.05)
+        text = render_recorder()
+        assert "repro_gibbs_sweeps_total 7" in text
+        assert "repro_chain_rhat 1.05" in text
+
+    def test_write_metrics_is_atomic_and_mkdirs(self, tmp_path):
+        telemetry.configure(enabled=True)
+        telemetry.gauge("chain.health", 2.0)
+        path = write_metrics(tmp_path / "deep" / "metrics.prom")
+        assert path.read_text() == (
+            "# TYPE repro_chain_health gauge\nrepro_chain_health 2\n"
+        )
+        # No temp droppings left behind.
+        assert [p.name for p in path.parent.iterdir()] == ["metrics.prom"]
+
+    def test_cli_metrics_out_exports_run_counters(self, tmp_path, capsys, monkeypatch):
+        # Serial execution keeps the counters in this process' recorder
+        # (workers' counters only fold back through a trace file).
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        metrics = tmp_path / "metrics.prom"
+        rc = cli_main(
+            [
+                "compare",
+                "--region",
+                "A",
+                "--scale",
+                "0.05",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        assert f"metrics: {metrics}" in capsys.readouterr().err
+        text = metrics.read_text()
+        assert "# TYPE repro_dpmhbp_sweeps_total counter" in text
+        # The DPMHBP fit's pooled convergence verdict rode along as gauges.
+        assert "# TYPE repro_chain_health gauge" in text
+        # The flag's enablement was scoped to the command.
+        assert not telemetry.enabled()
