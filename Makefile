@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test lint bench bench-save bench-compare perfcheck health-save health-compare report examples clean
+.PHONY: install test lint bench bench-save bench-compare perfcheck perfcheck-procs health-save health-compare report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,11 @@ bench-compare:
 # must land under a generous ceiling.
 perfcheck:
 	PYTHONPATH=src python -m repro.perf smoke
+
+# Same smoke under the multi-process backend: exercises the persistent
+# worker pool and the shared-memory data plane end to end.
+perfcheck-procs:
+	REPRO_EXECUTOR=processes REPRO_JOBS=2 PYTHONPATH=src python -m repro.perf smoke
 
 # Metric-drift harness (mirrors bench-save/bench-compare for accuracy):
 # snapshot a run directory's per-cell metrics to HEALTH_<rev>.json / fail

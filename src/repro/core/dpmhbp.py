@@ -60,6 +60,7 @@ from ..features.builder import ModelData
 from ..inference.metropolis import AdaptiveScale, metropolis_probability_step
 from ..ml.glm import PoissonRegression
 from ..monitor.health import ChainHealth, HealthReport
+from ..parallel import shm
 from ..parallel.executor import parallel_map, resolve_executor
 from .base import FailureModel
 
@@ -532,12 +533,24 @@ def _write_json_atomic(path: Path, payload: dict) -> Path:
 def _fit_dpmhbp_chain(task: tuple) -> DPMHBPPosterior:
     """Run one chain of the sampler (module-level so processes can pickle it).
 
+    The canonical task is ``(sampler, handle, ckpt_path)`` — the training
+    arrays travel once through the :mod:`repro.parallel.shm` data plane
+    and every chain resolves read-only zero-copy views, instead of each
+    task pickling its own copy of the same (failures, features, init)
+    bundle. The legacy 5-tuple with inline arrays is still accepted (old
+    pickled call sites).
+
     With a checkpoint path, the chain restores a valid prior checkpoint
     instead of re-sampling (bit-identical — the checkpoint *is* the chain's
     result), and saves its posterior atomically after a fresh fit; corrupt
     checkpoints are discarded and refit.
     """
-    sampler, failures, features, init, ckpt_path = task
+    if len(task) == 3:
+        sampler, handle, ckpt_path = task
+        arrays = shm.resolve_bundle(handle)
+        failures, features, init = arrays["failures"], arrays["features"], arrays["init"]
+    else:
+        sampler, failures, features, init, ckpt_path = task
     if ckpt_path is not None and Path(ckpt_path).exists():
         try:
             restored = DPMHBPPosterior.load(ckpt_path)
@@ -606,6 +619,15 @@ class DPMHBPModel(FailureModel):
             np.char.add(materials.astype(str), decades.astype(str)), return_inverse=True
         )
         features = data.clustering_features()
+        exec_config = resolve_executor(self.jobs, self.executor)
+        # One shared bundle for every chain: under a multi-worker process
+        # config the arrays are published to shared memory once and each
+        # task pickles only the small handle; serially (or with threads)
+        # the handle degrades to direct references — no copies either way.
+        bundle = shm.publish_bundle(
+            {"failures": data.seg_fail_train, "features": features, "init": init},
+            config=exec_config if self.n_chains > 1 else None,
+        )
         tasks = [
             (
                 DPMHBP(
@@ -618,9 +640,7 @@ class DPMHBPModel(FailureModel):
                     burn_in=self.burn_in,
                     seed=self.seed + 101 * chain,
                 ),
-                data.seg_fail_train,
-                features,
-                init,
+                bundle,
                 (
                     str(Path(self.checkpoint_dir) / f"chain_{chain}.npz")
                     if self.checkpoint_dir is not None
@@ -629,8 +649,17 @@ class DPMHBPModel(FailureModel):
             )
             for chain in range(self.n_chains)
         ]
-        exec_config = resolve_executor(self.jobs, self.executor)
-        self.chain_posteriors_ = parallel_map(_fit_dpmhbp_chain, tasks, exec_config)
+        try:
+            # chunksize=1: chains are few and heavy — a chain must never
+            # queue behind a batch-mate on a busy worker.
+            self.chain_posteriors_ = parallel_map(
+                _fit_dpmhbp_chain, tasks, exec_config, chunksize=1
+            )
+        finally:
+            # Workers that attached keep their mappings alive (POSIX unlink
+            # semantics), so releasing immediately after the map is safe —
+            # and guarantees a raising chain can't leak the segment.
+            shm.release(bundle)
         # Pool the chains: the posterior mean averages, the variance adds
         # the within-chain and between-chain components.
         rho_means = np.stack([p.rho_mean for p in self.chain_posteriors_])

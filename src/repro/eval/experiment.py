@@ -377,8 +377,13 @@ def run_comparison(
     with telemetry.span(
         "grid", cells=len(specs), pending=len(pending), restored=len(restored)
     ):
+        # chunksize=1: cells are few and expensive (six model fits each) —
+        # batching them would let one slow cell block its batch-mates. The
+        # processes backend reuses a persistent pool across grids, with the
+        # parent's built regions published zero-copy to the workers (see
+        # repro.parallel.pool / repro.parallel.shm).
         envelopes = safe_parallel_map(
-            execute_cell, tasks, resolve_executor(jobs, executor)
+            execute_cell, tasks, resolve_executor(jobs, executor), chunksize=1
         )
     # Envelope errors are infrastructure failures (unpicklable factory, dead
     # journal directory, …) — never cell failures, which execute_cell already

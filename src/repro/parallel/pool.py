@@ -1,0 +1,259 @@
+"""Persistent process pools: spawn once, fan out many times.
+
+``parallel_map`` used to build a fresh ``ProcessPoolExecutor`` per call —
+the per-cell fan-out in :mod:`repro.runs.engine` and the per-chain
+fan-out in :class:`~repro.core.dpmhbp.DPMHBPModel` rebuilt pools dozens
+of times per grid, paying worker spawn, interpreter warm-up and a cold
+region cache every time. This module keeps one pool per
+:class:`~repro.parallel.executor.ExecutorConfig` alive for the life of
+the process (registry + atexit shutdown), so repeated maps reuse warm
+workers whose process-local caches persist across calls.
+
+Scope: **processes only, top-level process only.** Thread pools cost
+microseconds to build, and a persistent shared ``ThreadPoolExecutor``
+would deadlock on re-entrant maps (outer tasks occupying every worker
+while their inner maps queue), so the threads backend keeps its per-call
+pool. Inside a pool worker, nested process fan-out (a grid cell fitting
+multi-chain DPMHBP under ``REPRO_EXECUTOR=processes``) likewise stays
+per-call: a persistent grandchild pool would outlive its map and wedge
+the worker's interpreter shutdown.
+
+Worker initialisation: new pools snapshot the parent's telemetry context
+(``REPRO_TRACE``) and the shared region cache
+(:func:`repro.parallel.cache.export_shared_region_cache`) into their
+initializer, so workers wake up tracing into the same file and resolving
+already-built regions zero-copy from shared memory instead of
+regenerating them. The pool registry key includes the telemetry
+fingerprint — pointing the recorder at a new trace file retires the old
+pool rather than leaving workers tracing into the wrong run.
+
+Fork-safety: registry entries record their creating pid; a forked worker
+inherits the parent's dict but its executors are dead weight there, so
+``get_pool`` discards stale-pid entries instead of reusing them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from .. import telemetry
+from ..telemetry.recorder import TRACE_ENV
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ExecutorConfig
+
+#: Environment switch: set ``REPRO_POOL_REUSE=0`` to restore per-call
+#: pools (A/B benchmarking; debugging worker-state bleed).
+POOL_REUSE_ENV = "REPRO_POOL_REUSE"
+
+#: Items per IPC round-trip are batched so a many-small-item map stops
+#: paying one pickle/unpickle cycle per item; capped so every worker
+#: still gets several batches to balance across.
+_CHUNK_WAVES = 4
+
+#: True inside a pool worker (set by the initializer). Persistent pools
+#: are for the top-level process only: a nested fan-out inside a worker
+#: (e.g. a grid cell fitting a multi-chain DPMHBP under an inherited
+#: ``REPRO_EXECUTOR=processes``) must use the context-managed per-call
+#: path, because a persistent grandchild pool outlives its map and
+#: deadlocks the worker's interpreter shutdown (the executor management
+#: thread joins grandchildren that are themselves stuck in shutdown).
+_in_pool_worker = False
+
+
+class WorkerPool:
+    """One persistent process pool plus its bookkeeping."""
+
+    def __init__(self, key: tuple, executor: ProcessPoolExecutor, jobs: int):
+        self.key = key
+        self.executor = executor
+        self.jobs = jobs
+        self.owner_pid = os.getpid()
+        self.maps_served = 0
+
+    def map(
+        self, fn: Callable, work: list, chunksize: int = 1
+    ) -> Iterator:
+        self.maps_served += 1
+        return self.executor.map(fn, work, chunksize=chunksize)
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+_lock = threading.Lock()
+_pools: dict[tuple, WorkerPool] = {}
+_created = 0
+_reused = 0
+_evicted = 0
+_atexit_installed = False
+
+
+def pools_enabled() -> bool:
+    """Whether persistent pool reuse applies to maps in *this* process.
+
+    False inside pool workers (nested fan-out stays per-call and
+    context-managed — see ``_in_pool_worker``) and when disabled via
+    ``REPRO_POOL_REUSE=0``.
+    """
+    if _in_pool_worker:
+        return False
+    return os.environ.get(POOL_REUSE_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+def compute_chunksize(n_items: int, jobs: int) -> int:
+    """Batch size for ``pool.map``: ~``_CHUNK_WAVES`` batches per worker.
+
+    The stdlib default of 1 is pathological for many small items (one
+    IPC round-trip each); a single huge chunk serialises the map. This
+    lands in between: big batches, but every worker still sees several.
+    """
+    if n_items <= 0 or jobs <= 0:
+        return 1
+    return max(1, n_items // (jobs * _CHUNK_WAVES))
+
+
+def _worker_initializer(trace_path: str | None, shared_items: list) -> None:
+    """Runs once in every fresh pool worker.
+
+    Re-exports the parent's trace path (start-method-proof: fork inherits
+    the environment, spawn would not) and installs the shared region
+    cache handles so ``cached_model_data`` resolves published regions
+    zero-copy instead of regenerating them. Also marks the process as a
+    pool worker so any nested fan-out keeps per-call pool semantics.
+    """
+    global _in_pool_worker
+    _in_pool_worker = True
+    if trace_path:
+        os.environ[TRACE_ENV] = trace_path
+        recorder = telemetry.get_recorder()
+        if not recorder.enabled or recorder.trace_path is None:
+            telemetry.configure(trace_path=trace_path, enabled=True)
+    from .cache import install_shared_handles
+
+    install_shared_handles(shared_items)
+
+
+def _telemetry_fingerprint() -> tuple:
+    recorder = telemetry.get_recorder()
+    path = recorder.trace_path
+    return (recorder.enabled, str(path) if path is not None else None)
+
+
+def _pool_key(config: "ExecutorConfig") -> tuple:
+    return (config.mode, config.jobs, _telemetry_fingerprint())
+
+
+def get_pool(config: "ExecutorConfig") -> WorkerPool:
+    """The persistent pool for ``config``, creating (or reviving) it."""
+    global _created, _reused, _atexit_installed
+    if config.mode != "processes":  # pragma: no cover — callers gate on mode
+        raise ValueError(f"persistent pools are processes-only, got {config.mode!r}")
+    key = _pool_key(config)
+    pid = os.getpid()
+    with _lock:
+        pool = _pools.get(key)
+        if pool is not None and pool.owner_pid == pid:
+            _reused += 1
+            telemetry.count("pool.reused")
+            return pool
+        if pool is not None:  # inherited across a fork: dead weight, drop it
+            del _pools[key]
+    from .cache import export_shared_region_cache
+
+    trace_path = os.environ.get(TRACE_ENV)
+    shared_items = export_shared_region_cache()
+    executor = ProcessPoolExecutor(
+        max_workers=config.jobs,
+        initializer=_worker_initializer,
+        initargs=(trace_path, shared_items),
+    )
+    pool = WorkerPool(key=key, executor=executor, jobs=config.jobs)
+    with _lock:
+        _pools[key] = pool
+        _created += 1
+        if not _atexit_installed:
+            atexit.register(shutdown_worker_pools)
+            _atexit_installed = True
+    telemetry.count("pool.created")
+    return pool
+
+
+def evict_pool(pool: WorkerPool) -> None:
+    """Retire a broken pool so the next map gets a fresh one."""
+    global _evicted
+    with _lock:
+        if _pools.get(pool.key) is pool:
+            del _pools[pool.key]
+            _evicted += 1
+    telemetry.count("pool.evicted")
+    try:
+        pool.shutdown()
+    except Exception:  # noqa: BLE001 — a broken pool may refuse even shutdown
+        pass
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every pool this process created (atexit; tests)."""
+    pid = os.getpid()
+    with _lock:
+        mine = [p for p in _pools.values() if p.owner_pid == pid]
+        _pools.clear()
+    for pool in mine:
+        try:
+            pool.shutdown()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def pool_stats() -> dict[str, int]:
+    """Registry counters (tests; ``repro status`` diagnostics)."""
+    with _lock:
+        return {
+            "created": _created,
+            "reused": _reused,
+            "evicted": _evicted,
+            "alive": sum(1 for p in _pools.values() if p.owner_pid == os.getpid()),
+        }
+
+
+def run_in_pool(
+    config: "ExecutorConfig",
+    fn: Callable,
+    work: Iterable,
+    chunksize: int,
+) -> list:
+    """One map over the persistent pool, evicting it if it comes back broken."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool = get_pool(config)
+    try:
+        return list(pool.map(fn, list(work), chunksize=chunksize))
+    except BrokenProcessPool:
+        # A killed/crashed worker poisons the whole executor permanently;
+        # retire it so the *next* map starts clean, then surface the error
+        # (retry semantics belong to the caller's RunPolicy, not here).
+        evict_pool(pool)
+        raise
+
+
+__all__ = [
+    "POOL_REUSE_ENV",
+    "WorkerPool",
+    "compute_chunksize",
+    "evict_pool",
+    "get_pool",
+    "pool_stats",
+    "pools_enabled",
+    "run_in_pool",
+    "shutdown_worker_pools",
+]

@@ -73,7 +73,9 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 
     from ..core.dpmhbp import DPMHBP
     from ..core.ranking.objective import empirical_auc
-    from .benchmarks import make_health_noop, make_telemetry_noop
+    from ..parallel import parallel_map, resolve_executor
+    from ..parallel import shm
+    from .benchmarks import _scaling_worker, make_health_noop, make_telemetry_noop
 
     rng = np.random.default_rng(0)
     failures = (rng.random((500, 11)) < 0.02).astype(np.int8)
@@ -81,6 +83,22 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     scores = rng.standard_normal(100_000)
     labels = (rng.random(100_000) < 0.01).astype(float)
     labels[0] = 1.0
+
+    def _fanout_check() -> None:
+        config = resolve_executor()
+        bundle = shm.publish_bundle(
+            {"x": rng.standard_normal((8, 50_000))}, config=config
+        )
+        tasks = [(bundle, i) for i in range(8)]
+        try:
+            first = parallel_map(_scaling_worker, tasks, config, chunksize=1)
+            second = parallel_map(_scaling_worker, tasks, config, chunksize=1)
+        finally:
+            shm.release(bundle)
+        if first != second:
+            raise AssertionError("parallel fan-out is not deterministic")
+        if shm.active_segments():
+            raise AssertionError("released bundle left shared-memory segments")
 
     checks = {
         "dpmhbp_one_sweep": lambda: DPMHBP(n_sweeps=1, burn_in=0, seed=0).fit(
@@ -94,6 +112,11 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         # Unmonitored-sweep overhead: the health hook with monitor=None
         # must stay one None check per sweep (see inference.gibbs).
         "health_noop_50k": make_health_noop(),
+        # Fan-out sanity under whatever REPRO_EXECUTOR/REPRO_JOBS the CI
+        # run sets: two maps through the (persistent, when processes-mode)
+        # pool with a published bundle — exercises the shm data plane and
+        # pool-reuse paths end to end, then asserts nothing leaked.
+        "parallel_fanout": _fanout_check,
     }
     failed = False
     for name, fn in checks.items():

@@ -2,17 +2,23 @@
 guarantee — serial, threaded and multi-process execution are bit-identical
 for fixed seeds, both for DPMHBP chains and for ``run_comparison`` cells."""
 
+from dataclasses import dataclass, field
+
 import numpy as np
 import pytest
 
 from repro.core.dpmhbp import DPMHBPModel
 from repro.core.survival_models import CoxPHModel
 from repro.eval.experiment import prepare_region_data, run_comparison
+from repro.features.builder import FeatureConfig
 from repro.parallel import (
     ExecutorConfig,
     cached_model_data,
     clear_model_data_cache,
+    compute_chunksize,
     parallel_map,
+    pool_stats,
+    pools_enabled,
     resolve_executor,
 )
 
@@ -22,6 +28,11 @@ EXECUTORS = ("serial", "threads", "processes")
 def _square(x):
     """Module-level so process pools can pickle it."""
     return x * x
+
+
+def _pools_enabled_in_worker(_):
+    """Reports whether the executing process would use persistent pools."""
+    return pools_enabled()
 
 
 def _light_models(seed):
@@ -106,6 +117,91 @@ class TestParallelMap:
     def test_exceptions_propagate(self):
         with pytest.raises(ZeroDivisionError):
             parallel_map(lambda x: 1 // x, [1, 0], ExecutorConfig(mode="threads", jobs=2))
+
+    def test_explicit_chunksize_accepted_on_every_backend(self):
+        for mode in EXECUTORS:
+            config = ExecutorConfig(mode=mode, jobs=2 if mode != "serial" else 1)
+            assert parallel_map(_square, range(7), config, chunksize=3) == [
+                x * x for x in range(7)
+            ]
+
+
+class TestPersistentPools:
+    def test_chunksize_balances_waves(self):
+        assert compute_chunksize(1, 4) == 1
+        assert compute_chunksize(8, 2) == 1
+        assert compute_chunksize(64, 2) == 8
+        assert compute_chunksize(1000, 4) == 62
+
+    def test_pool_reused_across_maps(self):
+        assert pools_enabled()
+        config = ExecutorConfig(mode="processes", jobs=2)
+        before = pool_stats()
+        parallel_map(_square, range(4), config)
+        parallel_map(_square, range(4), config)
+        after = pool_stats()
+        # At least one of the two maps hit an existing pool (the first may
+        # itself reuse a pool from an earlier test — that's the point).
+        assert after["reused"] >= before["reused"] + 1
+        assert after["created"] <= before["created"] + 1
+
+    def test_workers_never_nest_persistent_pools(self):
+        """Nested fan-out inside a worker must stay per-call.
+
+        A persistent grandchild pool outlives its map and wedges the
+        worker's interpreter shutdown (regression: `repro grid --executor
+        processes` hung at exit because every cell's multi-chain DPMHBP
+        fit built a persistent pool inside its worker).
+        """
+        config = ExecutorConfig(mode="processes", jobs=2)
+        flags = parallel_map(_pools_enabled_in_worker, range(4), config, chunksize=1)
+        assert flags == [False] * 4
+        assert pools_enabled()  # the parent itself still reuses pools
+
+    def test_pool_reuse_can_be_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_REUSE", "0")
+        assert not pools_enabled()
+        before = pool_stats()
+        config = ExecutorConfig(mode="processes", jobs=2)
+        assert parallel_map(_square, range(4), config) == [x * x for x in range(4)]
+        # The per-call path never touches the registry.
+        assert pool_stats() == before
+
+
+@dataclass
+class _ListyFeatureConfig(FeatureConfig):
+    """A config variant with an unhashable (list-valued) field.
+
+    ``astuple`` keeps the list as-is; the cache key must normalise it
+    instead of crashing with ``TypeError: unhashable type: 'list'``.
+    """
+
+    extra_columns: tuple = ()
+    column_list: list = field(default_factory=lambda: ["soil_ph", "traffic"])
+
+
+class TestCacheKeyNormalisation:
+    def test_list_valued_config_field_is_cacheable(self):
+        clear_model_data_cache()
+        config = _ListyFeatureConfig()
+        a = cached_model_data("A", scale=0.05, seed=9, feature_config=config)
+        b = cached_model_data(
+            "A", scale=0.05, seed=9, feature_config=_ListyFeatureConfig()
+        )
+        assert a is b
+
+    def test_different_list_contents_miss(self):
+        clear_model_data_cache()
+        a = cached_model_data(
+            "A", scale=0.05, seed=9, feature_config=_ListyFeatureConfig()
+        )
+        b = cached_model_data(
+            "A",
+            scale=0.05,
+            seed=9,
+            feature_config=_ListyFeatureConfig(column_list=["soil_ph"]),
+        )
+        assert a is not b
 
 
 class TestRegionCache:

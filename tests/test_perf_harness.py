@@ -39,6 +39,9 @@ class TestTiming:
             "empirical_auc",
             "es_generation",
             "run_journal",
+            "parallel_scaling",
+            "parallel_scaling_percall",
+            "shm_roundtrip",
             "telemetry_noop",
             "health_noop",
         }
